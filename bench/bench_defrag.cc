@@ -1,0 +1,119 @@
+/**
+ * @file
+ * §8.2.2: IP defragmentation offload — 60 bulk flows through three
+ * configurations:
+ *   (a) no fragmentation (baseline),
+ *   (b) 1500 B packets over a 1450 B route MTU, software vs hardware
+ *       defragmentation,
+ *   (c) same plus VXLAN tunneling (decapsulated by the NIC *before*
+ *       the defrag AFU — the mid-pipeline insertion FLD enables).
+ * Paper: 23.2 Gbps baseline; software defrag collapses to 3.2 Gbps
+ * (single RSS bucket); hardware defrag restores 22.4 Gbps (7x); the
+ * VXLAN case is sender-bound at a 5.25x speedup.
+ */
+#include "apps/scenarios.h"
+#include "bench/bench_util.h"
+
+using namespace fld;
+using namespace fld::apps;
+
+namespace {
+
+struct Result
+{
+    double goodput_gbps;
+    int active_cores;
+    uint64_t reassembled;
+};
+
+Result
+run(const DefragOptions& opt)
+{
+    auto s = make_defrag(opt);
+    sim::TimePs duration = sim::milliseconds(10);
+    sim::TimePs t0 = s->tb->eq.now();
+
+    // Windowed goodput: sample the delivered-byte counter at the
+    // window edges (avoids counting warmup and post-test drain).
+    uint64_t bytes_at_start = 0, bytes_at_end = 0;
+    sim::TimePs w0 = t0 + duration / 5;
+    sim::TimePs w1 = t0 + duration;
+    s->tb->eq.schedule_at(w0, [&] {
+        bytes_at_start = s->stack->delivered_payload_bytes();
+    });
+    s->tb->eq.schedule_at(w1, [&] {
+        bytes_at_end = s->stack->delivered_payload_bytes();
+    });
+
+    s->iperf->start(duration);
+    s->tb->eq.run();
+
+    Result r{};
+    r.goodput_gbps = sim::gbps_of(bytes_at_end - bytes_at_start,
+                                  w1 - w0);
+    for (uint32_t c = 0; c < s->tb->server_host.cores(); ++c) {
+        r.active_cores += s->tb->server_host.core_busy_time(c) >
+                          sim::microseconds(100);
+    }
+    r.reassembled =
+        s->defrag ? s->defrag->reassembly_stats().packets_out : 0;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("IP defragmentation offload (60 bulk flows)",
+                  "FlexDriver §8.2.2");
+
+    DefragOptions baseline;
+    Result a = run(baseline);
+
+    DefragOptions sw_frag;
+    sw_frag.fragmented = true;
+    Result b_sw = run(sw_frag);
+
+    DefragOptions hw_frag;
+    hw_frag.fragmented = true;
+    hw_frag.hw_defrag = true;
+    Result b_hw = run(hw_frag);
+
+    DefragOptions vx;
+    vx.fragmented = true;
+    vx.vxlan = true;
+    vx.hw_defrag = true;
+    Result c_hw = run(vx);
+
+    TextTable t;
+    t.header({"Configuration", "Goodput", "Active cores",
+              "AFU reassembled", "(paper)"});
+    t.row({"(a) no fragmentation", format_gbps(a.goodput_gbps),
+           strfmt("%d", a.active_cores), "-", "23.2 Gbps"});
+    t.row({"(b) frag, software defrag", format_gbps(b_sw.goodput_gbps),
+           strfmt("%d", b_sw.active_cores), "-", "3.2 Gbps"});
+    t.row({"(b) frag, FLD defrag", format_gbps(b_hw.goodput_gbps),
+           strfmt("%d", b_hw.active_cores),
+           strfmt("%llu", (unsigned long long)b_hw.reassembled),
+           "22.4 Gbps"});
+    t.row({"(c) VXLAN + frag, FLD defrag",
+           format_gbps(c_hw.goodput_gbps),
+           strfmt("%d", c_hw.active_cores),
+           strfmt("%llu", (unsigned long long)c_hw.reassembled),
+           "16.8 Gbps (sender-bound)"});
+    t.separator();
+    t.row({"speedup FLD vs software",
+           strfmt("%.1fx", b_hw.goodput_gbps / b_sw.goodput_gbps), "",
+           "", "7x"});
+    t.row({"speedup VXLAN case",
+           strfmt("%.2fx", c_hw.goodput_gbps / b_sw.goodput_gbps), "",
+           "", "5.25x"});
+    t.print();
+
+    bench::note("mechanism check: software defrag pins all fragments "
+                "to one RSS bucket/core; the FLD acceleration action "
+                "reassembles mid-pipeline so RSS spreads whole "
+                "datagrams again");
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 4: driver memory requirements with/without the FLD
+ * optimizations while scaling line rate (25..400 Gbps) and transmit
+ * queue count (512..2048), against the prototype FPGA's on-chip
+ * capacity (XCKU15P, 10.05 MiB).
+ */
+#include "bench/bench_util.h"
+#include "fld/mem_budget.h"
+#include "model/memory_model.h"
+
+using namespace fld;
+
+int
+main()
+{
+    bench::banner("Figure 4: memory scaling, software vs FLD",
+                  "FlexDriver §5.2.1");
+
+    TextTable t;
+    t.header({"Line rate", "Queues", "Software", "FLD", "Shrink",
+              "FLD fits XCKU15P?"});
+    for (uint32_t queues : {512u, 1024u, 2048u}) {
+        for (double gbps : {25.0, 50.0, 100.0, 200.0, 400.0}) {
+            model::MemoryParams p;
+            p.bandwidth_gbps = gbps;
+            p.num_queues = queues;
+            model::MemoryBreakdown sw = model::software_memory(p);
+            model::MemoryBreakdown fl = model::fld_memory(p);
+            t.row({format_gbps(gbps), strfmt("%u", queues),
+                   format_bytes(sw.total), format_bytes(fl.total),
+                   format_ratio(sw.total / fl.total),
+                   fl.total <= double(core::kXcku15pBytes) ? "yes"
+                                                           : "NO"});
+        }
+        t.separator();
+    }
+    t.print();
+    bench::note(strfmt("XCKU15P on-chip capacity: %s",
+                       format_bytes(double(core::kXcku15pBytes))
+                           .c_str()));
+    bench::note("paper shape: FLD stays on-chip through 400 Gbps and "
+                "2048 queues; the software layout exceeds the FPGA by "
+                "orders of magnitude");
+    return 0;
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Figure 7b: FLD-E / FLD-R echo bandwidth vs packet size, local
+ * (50 Gbps PCIe loopback) and remote (25 GbE wire), against the CPU
+ * (testpmd) driver baseline and the performance model. Also the
+ * §8.1.1 mixed-size (IMC-2010) packet-rate comparison: paper reports
+ * 12.7 Mpps FLD-E vs 9.6 Mpps single-core CPU testpmd.
+ */
+#include "apps/scenarios.h"
+#include "bench/bench_util.h"
+#include "model/perf_model.h"
+
+using namespace fld;
+using namespace fld::apps;
+
+namespace {
+
+constexpr sim::TimePs kWarmup = sim::milliseconds(1);
+constexpr sim::TimePs kDuration = sim::milliseconds(4);
+
+double
+run_fld_echo(bool remote, size_t frame)
+{
+    PktGenConfig g;
+    g.frame_size = frame;
+    if (remote) {
+        g.offered_gbps = 26.0; // open loop just past line rate
+    } else {
+        // Local has no wire pacing: a closed loop self-regulates at
+        // the PCIe bottleneck instead of collapsing under overload.
+        g.window = 256;
+    }
+    auto s = make_fld_echo(remote, g);
+    s->gen->start(kWarmup, kDuration);
+    s->tb->eq.run();
+    return s->gen->rx_meter().gbps(s->gen->measure_start(),
+                                   s->gen->measure_end());
+}
+
+double
+run_cpu_echo(size_t frame)
+{
+    PktGenConfig g;
+    g.frame_size = frame;
+    g.offered_gbps = 26.0;
+    auto s = make_cpu_echo(true, g);
+    s->gen->start(kWarmup, kDuration);
+    s->tb->eq.run();
+    return s->gen->rx_meter().gbps(s->gen->measure_start(),
+                                   s->gen->measure_end());
+}
+
+double
+run_fldr_echo(bool remote, size_t msg_bytes)
+{
+    auto s = make_fldr_echo(remote);
+    sim::RateMeter meter;
+    sim::TimePs start_measure = s->tb->eq.now() + kWarmup;
+    sim::TimePs end = s->tb->eq.now() + kDuration;
+    uint32_t next_id = 1;
+    auto& eq = s->tb->eq;
+    auto& client = *s->client;
+
+    std::function<void()> send_next = [&] {
+        if (eq.now() >= end)
+            return;
+        client.post_send(std::vector<uint8_t>(msg_bytes, 0xe5),
+                         next_id++);
+    };
+    client.set_msg_handler([&](uint32_t, std::vector<uint8_t>&& msg) {
+        if (eq.now() >= start_measure && eq.now() <= end)
+            meter.record(eq.now(), msg.size());
+        send_next();
+    });
+    for (int i = 0; i < 64; ++i)
+        send_next();
+    eq.run();
+    return meter.gbps(start_measure, end);
+}
+
+double
+run_mix_mpps(bool fld)
+{
+    PktGenConfig g;
+    g.imc_mix = true;
+    g.offered_gbps = 26.0;
+    g.flows = 16;
+    double mpps = 0;
+    if (fld) {
+        auto s = make_fld_echo(true, g);
+        s->gen->start(kWarmup, kDuration);
+        s->tb->eq.run();
+        mpps = double(s->gen->rx_count()) /
+               sim::to_us(s->gen->measure_end() -
+                          s->gen->measure_start());
+        // rx_count includes warmup; recompute from meter instead.
+        mpps = s->gen->rx_meter().mpps(s->gen->measure_start(),
+                                       s->gen->measure_end());
+    } else {
+        auto s = make_cpu_echo(true, g);
+        s->gen->start(kWarmup, kDuration);
+        s->tb->eq.run();
+        mpps = s->gen->rx_meter().mpps(s->gen->measure_start(),
+                                       s->gen->measure_end());
+    }
+    return mpps;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 7b: echo throughput vs packet size",
+                  "FlexDriver §8.1.1-8.1.2");
+
+    model::PerfModelParams remote_model;
+    remote_model.eth_gbps = 25.0;
+    remote_model.pcie_gbps = 50.0;
+
+    TextTable t;
+    t.header({"Frame B", "FLD-E remote", "FLD-E local", "CPU remote",
+              "FLD-R remote", "FLD-R local", "model (remote)",
+              "eth line"});
+    for (size_t size : {64u, 128u, 256u, 512u, 1024u, 1500u}) {
+        double fld_remote = run_fld_echo(true, size);
+        double fld_local = run_fld_echo(false, size);
+        double cpu = run_cpu_echo(size);
+        // FLD-R: message = frame payload; headers ride the transport.
+        double fldr = run_fldr_echo(true, size);
+        double fldr_local = run_fldr_echo(false, size);
+        t.row({strfmt("%zu", size), format_gbps(fld_remote),
+               format_gbps(fld_local), format_gbps(cpu),
+               format_gbps(fldr), format_gbps(fldr_local),
+               format_gbps(model::fld_expected_gbps(remote_model,
+                                                    uint32_t(size))),
+               format_gbps(
+                   model::eth_goodput_gbps(25.0, uint32_t(size)))});
+    }
+    t.print();
+    bench::note("paper shape: FLD-E meets the model from ~128 B "
+                "(remote) / ~256 B (local); on par with the CPU "
+                "driver; FLD-R slightly lower, meeting 25 Gbps for "
+                ">= 512 B messages");
+
+    bench::banner("IMC-2010 mixed sizes: packet rate", "§8.1.1");
+    double fld_mpps = run_mix_mpps(true);
+    double cpu_mpps = run_mix_mpps(false);
+    TextTable m;
+    m.header({"Driver", "Mpps", "(paper)"});
+    m.row({"FLD-E echo", strfmt("%.1f", fld_mpps), "12.7"});
+    m.row({"CPU testpmd (1 core)", strfmt("%.1f", cpu_mpps), "9.6"});
+    m.row({"ratio", strfmt("%.2fx", fld_mpps / cpu_mpps), "1.32x"});
+    m.print();
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Table 4: software lines of code. Prints the paper's reported counts
+ * for its components next to a cloc-like count of this reproduction's
+ * corresponding modules (counted from the source tree at build time
+ * via a simple non-blank-line counter over the compiled-in manifest).
+ */
+#include <dirent.h>
+
+#include <fstream>
+
+#include "bench/bench_util.h"
+#include "model/area.h"
+
+using namespace fld;
+
+namespace {
+
+/** Count non-blank, non-pure-comment lines of a file (cloc-like). */
+int
+count_loc(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return 0;
+    int loc = 0;
+    std::string line;
+    bool in_block_comment = false;
+    while (std::getline(in, line)) {
+        size_t start = line.find_first_not_of(" \t");
+        if (start == std::string::npos)
+            continue;
+        std::string s = line.substr(start);
+        if (in_block_comment) {
+            if (s.find("*/") != std::string::npos)
+                in_block_comment = false;
+            continue;
+        }
+        if (s.rfind("//", 0) == 0)
+            continue;
+        if (s.rfind("/*", 0) == 0) {
+            if (s.find("*/", 2) == std::string::npos)
+                in_block_comment = true;
+            continue;
+        }
+        if (s.rfind("*", 0) == 0)
+            continue; // doxygen continuation
+        ++loc;
+    }
+    return loc;
+}
+
+int
+count_dir(const std::string& dir)
+{
+    int total = 0;
+    DIR* d = opendir(dir.c_str());
+    if (!d)
+        return 0;
+    while (dirent* e = readdir(d)) {
+        std::string name = e->d_name;
+        if (name.size() > 3 &&
+            (name.substr(name.size() - 3) == ".cc" ||
+             name.substr(name.size() - 2) == ".h")) {
+            total += count_loc(dir + "/" + name);
+        }
+    }
+    closedir(d);
+    return total;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::banner("Table 4: software lines of code", "FlexDriver §6");
+
+    // Locate the source tree: argument, or relative to the build dir.
+    std::string root = argc > 1 ? argv[1] : "../src";
+    if (count_dir(root + "/runtime") == 0)
+        root = "src"; // running from the repo root
+
+    TextTable t;
+    t.header({"Paper component", "Paper LOC", "Reproduction module",
+              "Repro LOC"});
+    struct Map
+    {
+        const char* paper;
+        int paper_loc;
+        const char* module;
+        std::string dir;
+    };
+    std::vector<Map> maps = {
+        {"FLD runtime library", 3753, "src/runtime", root + "/runtime"},
+        {"FLD kernel driver", 1137, "src/driver", root + "/driver"},
+        {"FLD-E control-plane", 1554, "src/apps (scenarios)",
+         root + "/apps"},
+        {"FLD-R control-plane", 1510, "src/fld", root + "/fld"},
+        {"FLD-R client library", 754, "src/accel (protocol)",
+         root + "/accel"},
+        {"ZUC DPDK driver", 732, "src/crypto", root + "/crypto"},
+    };
+    for (const auto& m : maps) {
+        t.row({m.paper, strfmt("%d", m.paper_loc), m.module,
+               strfmt("%d", count_dir(m.dir))});
+    }
+    t.print();
+    bench::note("the mapping is approximate: this reproduction's "
+                "module split differs from the authors' code base; "
+                "the comparison shows both are a few thousand lines "
+                "per component");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 5: hardware resource utilization and HDL lines of code of the
+ * FLD module and the example AFUs — paper-reported constants (no
+ * synthesis possible), printed with the memory structures this
+ * reproduction instantiates for each module so the BRAM/URAM scale
+ * can be sanity-checked.
+ */
+#include "bench/bench_util.h"
+#include "fld/flexdriver.h"
+#include "model/area.h"
+#include "pcie/fabric.h"
+
+using namespace fld;
+
+int
+main()
+{
+    bench::banner("Table 5: hardware utilization and LOC",
+                  "FlexDriver §6");
+
+    TextTable t;
+    t.header({"Module", "Clk (MHz)", "LUT", "FF", "BRAM", "URAM",
+              "HDL LOC"});
+    for (const auto& r : model::table5_rows()) {
+        t.row({r.module, strfmt("%d", r.clock_mhz),
+               strfmt("%.0fK", r.luts_k), strfmt("%.0fK", r.ffs_k),
+               strfmt("%d", r.bram), r.uram ? strfmt("%d", r.uram) : "",
+               r.loc_k ? strfmt("%dK", r.loc_k) : ""});
+    }
+    t.print();
+
+    // Cross-check: FLD's 35 BRAM + 44 URAM on the XCKU15P is about
+    // 35*4.5 KiB + 44*36 KiB = 1.7 MiB of addressable memory; our
+    // instantiated on-die budget must fit well inside that.
+    sim::EventQueue eq;
+    pcie::PcieFabric fabric(eq);
+    pcie::PortId port = fabric.add_port("fld", 50.0, 0);
+    core::FlexDriver fld("fld", eq, fabric, port, 0x8000'0000,
+                         0x4000'0000);
+    fabric.attach(port, &fld, 0x8000'0000, core::FlexDriver::kBarSize);
+
+    double fld_ram_bytes = 35 * 4.5 * 1024 + 44 * 36.0 * 1024;
+    std::printf("\nFLD BRAM+URAM capacity (paper row): %s; "
+                "instantiated on-die state: %s -> %s\n",
+                format_bytes(fld_ram_bytes).c_str(),
+                format_bytes(double(fld.mem_budget().total())).c_str(),
+                fld.mem_budget().total() < fld_ram_bytes
+                    ? "fits (consistent with Table 5)"
+                    : "DOES NOT FIT");
+    return 0;
+}

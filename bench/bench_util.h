@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries. Each
+ * binary regenerates one table or figure of the paper; outputs print
+ * the paper's reported value next to the reproduced one wherever the
+ * paper gives a number.
+ */
+#ifndef FLD_BENCH_BENCH_UTIL_H
+#define FLD_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace fld::bench {
+
+inline void
+banner(const std::string& what, const std::string& paper_ref)
+{
+    std::printf("\n=== %s (%s) ===\n", what.c_str(), paper_ref.c_str());
+}
+
+inline void
+note(const std::string& text)
+{
+    std::printf("  %s\n", text.c_str());
+}
+
+} // namespace fld::bench
+
+#endif // FLD_BENCH_BENCH_UTIL_H

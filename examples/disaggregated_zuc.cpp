@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Disaggregated LTE cipher (§7): a client encrypts traffic on a
+ * remote ZUC accelerator over RDMA, through the cryptodev-style
+ * client API, and verifies every response by decrypting locally.
+ *
+ *   $ ./examples/disaggregated_zuc
+ */
+#include <cstdio>
+
+#include "apps/scenarios.h"
+
+using namespace fld;
+using namespace fld::apps;
+
+int
+main()
+{
+    std::printf("Disaggregated ZUC cipher over FLD-R (RDMA)\n\n");
+
+    auto s = make_fldr_zuc(/*remote=*/true);
+
+    // 1. A few hand-rolled requests with verification.
+    auto& eq = s->tb->eq;
+    auto& client = *s->client;
+    crypto::Zuc::Key key{};
+    for (size_t i = 0; i < key.size(); ++i)
+        key[i] = uint8_t(0x42 + i);
+
+    int verified = 0;
+    std::vector<uint8_t> plaintext(1024);
+    for (size_t i = 0; i < plaintext.size(); ++i)
+        plaintext[i] = uint8_t(i * 7);
+
+    client.set_msg_handler([&](uint32_t id,
+                               std::vector<uint8_t>&& msg) {
+        auto parsed = accel::zuc_parse(msg);
+        if (!parsed || parsed->first.status != accel::ZucStatus::Ok) {
+            std::printf("request %u FAILED\n", id);
+            return;
+        }
+        // EEA3 is symmetric: decrypt locally and compare.
+        std::vector<uint8_t> round = parsed->second;
+        crypto::eea3_crypt(key, parsed->first.count,
+                           parsed->first.bearer,
+                           parsed->first.direction, round.data(),
+                           uint32_t(round.size() * 8));
+        bool ok = round == plaintext;
+        verified += ok;
+        std::printf("request %u: %zu B ciphertext, round-trip %s\n",
+                    id, parsed->second.size(), ok ? "OK" : "MISMATCH");
+    });
+
+    for (uint32_t i = 1; i <= 4; ++i) {
+        accel::ZucHeader hdr;
+        hdr.op = accel::ZucOp::Eea3Crypt;
+        hdr.key = key;
+        hdr.count = i;
+        hdr.bearer = 7;
+        hdr.length_bits = uint32_t(plaintext.size() * 8);
+        client.post_send(accel::zuc_request(hdr, plaintext), i);
+    }
+    eq.run();
+    std::printf("\n%d/4 requests verified\n\n", verified);
+
+    // 2. A throughput burst via the test-crypto-perf-style client.
+    CryptoPerfConfig cfg;
+    cfg.request_payload = 512;
+    cfg.window = 64;
+    CryptoPerfClient perf(eq, client, cfg);
+    perf.start(sim::microseconds(500), sim::milliseconds(4));
+    eq.run();
+
+    std::printf("throughput burst: %llu responses, %.2f Gbps "
+                "(paper: 17.6 Gbps at 512 B), median latency %.1f us\n",
+                (unsigned long long)perf.responses(),
+                perf.response_meter().gbps(perf.measure_start(),
+                                           perf.last_response()),
+                perf.latency_us().median());
+    std::printf("accelerator served %llu requests on %u ZUC units\n",
+                (unsigned long long)static_cast<accel::ZucAccelerator*>(
+                    s->afu.get())
+                    ->requests_served(),
+                accel::ZucAccelerator::default_model().units);
+    return 0;
+}

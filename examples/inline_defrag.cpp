@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Inline IP defragmentation (§7): fragments are steered to the FLD
+ * accelerator mid-pipeline — after the NIC's VXLAN decapsulation and
+ * before RSS — so the NIC's receive offloads work on whole datagrams.
+ * Compares software defragmentation against the FLD offload.
+ *
+ *   $ ./examples/inline_defrag
+ */
+#include <cstdio>
+
+#include "apps/scenarios.h"
+
+using namespace fld;
+using namespace fld::apps;
+
+namespace {
+
+void
+run_case(const char* name, const DefragOptions& opt)
+{
+    auto s = make_defrag(opt);
+    sim::TimePs duration = sim::milliseconds(6);
+    sim::TimePs t0 = s->tb->eq.now();
+
+    // Windowed goodput via counter sampling (skips warmup and the
+    // post-test drain).
+    uint64_t start_bytes = 0, end_bytes = 0;
+    sim::TimePs w0 = t0 + duration / 5;
+    sim::TimePs w1 = t0 + duration;
+    s->tb->eq.schedule_at(w0, [&] {
+        start_bytes = s->stack->delivered_payload_bytes();
+    });
+    s->tb->eq.schedule_at(w1, [&] {
+        end_bytes = s->stack->delivered_payload_bytes();
+    });
+
+    s->iperf->start(duration);
+    s->tb->eq.run();
+
+    int active = 0;
+    for (uint32_t c = 0; c < s->tb->server_host.cores(); ++c) {
+        active += s->tb->server_host.core_busy_time(c) >
+                  sim::microseconds(100);
+    }
+    std::printf("%-34s %6.2f Gbps goodput, %2d receiver cores active",
+                name, sim::gbps_of(end_bytes - start_bytes, w1 - w0),
+                active);
+    if (s->defrag) {
+        std::printf(", AFU reassembled %llu datagrams",
+                    (unsigned long long)
+                        s->defrag->reassembly_stats().packets_out);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Inline IP defragmentation: 60 bulk flows over "
+                "25 GbE\n\n");
+
+    DefragOptions baseline;
+    run_case("no fragmentation:", baseline);
+
+    DefragOptions sw;
+    sw.fragmented = true;
+    run_case("fragmented, software defrag:", sw);
+
+    DefragOptions hw;
+    hw.fragmented = true;
+    hw.hw_defrag = true;
+    run_case("fragmented, FLD defrag:", hw);
+
+    DefragOptions vx;
+    vx.fragmented = true;
+    vx.vxlan = true;
+    vx.hw_defrag = true;
+    run_case("VXLAN + fragmented, FLD defrag:", vx);
+
+    std::printf("\nthe software path collapses onto one core because "
+                "RSS cannot hash fragments;\nthe FLD acceleration "
+                "action reassembles mid-pipeline and restores "
+                "spreading.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Virtualized IoT authentication gateway (§7): several tenants share
+ * one token-validation accelerator. The NIC classifies flows, tags
+ * them with tenant IDs and enforces per-tenant bandwidth; the AFU
+ * verifies JWT HMAC-SHA256 signatures and drops forgeries before
+ * they ever reach the host.
+ *
+ *   $ ./examples/iot_auth_gateway
+ */
+#include <cstdio>
+
+#include "apps/scenarios.h"
+
+using namespace fld;
+using namespace fld::apps;
+
+int
+main()
+{
+    std::printf("IoT token-authentication gateway: 3 tenants, one "
+                "FLD accelerator\n\n");
+
+    IotOptions opt;
+    TenantFlow alice;
+    alice.tenant_id = 1;
+    alice.offered_gbps = 4.0;
+    alice.frame_size = 512;
+    alice.jwt_key = "alice-secret";
+    alice.src_ip = net::ipv4_addr(10, 0, 0, 2);
+    alice.sport = 50001;
+
+    TenantFlow bob = alice;
+    bob.tenant_id = 2;
+    bob.offered_gbps = 6.0;
+    bob.jwt_key = "bob-secret";
+    bob.src_ip = net::ipv4_addr(10, 0, 0, 3);
+    bob.sport = 50002;
+
+    TenantFlow mallory = alice; // forged signatures
+    mallory.tenant_id = 3;
+    mallory.offered_gbps = 5.0;
+    mallory.jwt_key = "mallory-guess";
+    mallory.valid_tokens = false;
+    mallory.src_ip = net::ipv4_addr(10, 0, 0, 4);
+    mallory.sport = 50003;
+
+    opt.tenants = {alice, bob, mallory};
+    opt.accel_capacity_gbps = 12.0;
+    opt.tenant_rate_cap_gbps = 6.0; // NIC max-bandwidth shaping
+
+    auto s = make_iot(opt);
+    s->trex->start(sim::milliseconds(6));
+    s->tb->eq.run();
+
+    const accel::IotAuthStats& a = s->auth->auth_stats();
+    std::printf("accelerator verdicts: %llu valid, %llu bad "
+                "signatures, %llu malformed, %llu unknown tenant\n\n",
+                (unsigned long long)a.valid,
+                (unsigned long long)a.invalid_signature,
+                (unsigned long long)a.malformed,
+                (unsigned long long)a.unknown_tenant);
+
+    const char* names[] = {"", "alice (valid)", "bob (valid)",
+                           "mallory (forged)"};
+    for (uint32_t tenant = 1; tenant <= 3; ++tenant) {
+        std::printf("%-18s delivered to host app: %8.2f Gbps "
+                    "(%llu bytes)\n",
+                    names[tenant], s->accepted_meter[tenant].gbps(),
+                    (unsigned long long)s->accepted_bytes[tenant]);
+    }
+    std::printf("\nforged tokens never reach the host; honest tenants "
+                "keep their shaped allocation.\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Quickstart: bring up the simulated testbed — a client node, a
+ * 25 GbE wire, and a server whose NIC is driven by FlexDriver — put
+ * an echo accelerator behind FLD, push some packets through, and
+ * print what happened at every layer.
+ *
+ *   $ ./examples/quickstart
+ */
+#include <cstdio>
+
+#include "apps/scenarios.h"
+#include "model/perf_model.h"
+#include "util/strings.h"
+
+using namespace fld;
+using namespace fld::apps;
+
+int
+main()
+{
+    std::printf("FlexDriver quickstart: client -> 25 GbE -> NIC -> "
+                "FLD -> echo AFU -> back\n\n");
+
+    // One call assembles the §8 remote echo setup: PCIe fabric, both
+    // NICs, FLD, the runtime control plane, steering rules, and a
+    // testpmd-like load generator.
+    PktGenConfig gen;
+    gen.frame_size = 512;
+    gen.window = 32;
+    gen.measure_rtt = true;
+    auto s = make_fld_echo(/*remote=*/true, gen);
+
+    // Run 2 ms of simulated time.
+    s->gen->start(/*warmup=*/sim::microseconds(200),
+                  /*duration=*/sim::milliseconds(2));
+    s->tb->eq.run();
+
+    const auto& gen_stats = *s->gen;
+    std::printf("generator:   sent %llu, received %llu echoes\n",
+                (unsigned long long)gen_stats.tx_count(),
+                (unsigned long long)gen_stats.rx_count());
+    std::printf("throughput:  %.2f Gbps (line is %.2f Gbps)\n",
+                gen_stats.rx_meter().gbps(gen_stats.measure_start(),
+                                          gen_stats.measure_end()),
+                model::eth_goodput_gbps(25.0, 512));
+    std::printf("median RTT:  %.2f us\n", gen_stats.rtt_us().median());
+
+    const core::FldStats& fld = s->tb->fld->stats();
+    std::printf("\nFLD:         rx %llu pkts, tx %llu pkts, "
+                "%llu WQEs synthesized on-the-fly, %llu doorbells\n",
+                (unsigned long long)fld.rx_packets,
+                (unsigned long long)fld.tx_packets,
+                (unsigned long long)fld.wqe_reads,
+                (unsigned long long)fld.cqes);
+    std::printf("on-die mem:  %s (XCKU15P capacity: %s)\n",
+                format_bytes(double(s->tb->fld->mem_budget().total()))
+                    .c_str(),
+                format_bytes(double(core::kXcku15pBytes)).c_str());
+
+    const nic::NicStats& nic = s->tb->server_nic->stats();
+    std::printf("server NIC:  %llu wire rx, %llu tx, drops: "
+                "%llu (no buffer) %llu (no rule)\n",
+                (unsigned long long)nic.wire_rx_packets,
+                (unsigned long long)nic.tx_packets,
+                (unsigned long long)nic.drops_no_buffer,
+                (unsigned long long)nic.drops_no_rule);
+
+    // PCIe wire accounting: the control-traffic overhead FLD's whole
+    // design revolves around (descriptors, completions, doorbells).
+    double secs = sim::to_sec(s->tb->eq.now());
+    std::printf("\nPCIe wire utilization over the run:\n");
+    const char* names[] = {"server host", "server NIC", "FLD"};
+    for (pcie::PortId port = 0; port < 3; ++port) {
+        const pcie::PortStats& ps = s->tb->fabric.stats(port);
+        std::printf("  %-12s egress %6.2f Gbps, ingress %6.2f Gbps "
+                    "(%llu reads, %llu writes)\n",
+                    names[port],
+                    double(ps.egress_bytes) * 8e-9 / secs,
+                    double(ps.ingress_bytes) * 8e-9 / secs,
+                    (unsigned long long)ps.reads,
+                    (unsigned long long)ps.writes);
+    }
+    return 0;
+}

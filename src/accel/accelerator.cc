@@ -1,0 +1,57 @@
+#include "accel/accelerator.h"
+
+#include <algorithm>
+
+namespace fld::accel {
+
+Accelerator::Accelerator(std::string name, sim::EventQueue& eq,
+                         core::FlexDriver& fld, UnitModel model)
+    : eq_(eq), fld_(fld), name_(std::move(name)), model_(model),
+      unit_busy_until_(model.units, 0), unit_queued_(model.units, 0)
+{
+    fld_.set_rx_handler(
+        [this](core::StreamPacket&& pkt) { on_rx(std::move(pkt)); });
+}
+
+void
+Accelerator::on_rx(core::StreamPacket&& pkt)
+{
+    stats_.packets_in++;
+    stats_.bytes_in += pkt.size();
+
+    // Front-end load balancer: pick the least-loaded unit.
+    uint32_t best = 0;
+    for (uint32_t u = 1; u < unit_busy_until_.size(); ++u) {
+        if (unit_busy_until_[u] < unit_busy_until_[best])
+            best = u;
+    }
+    if (unit_queued_[best] >= model_.queue_depth) {
+        // No backpressure toward FLD is allowed (§5.5): drop.
+        stats_.dropped_overload++;
+        return;
+    }
+
+    sim::TimePs start = std::max(eq_.now(), unit_busy_until_[best]);
+    sim::TimePs done = start + service_time_for(pkt);
+    unit_busy_until_[best] = done;
+    unit_queued_[best]++;
+    eq_.schedule_at(done, [this, best, pkt = std::move(pkt)]() mutable {
+        unit_queued_[best]--;
+        process(std::move(pkt));
+    });
+}
+
+bool
+Accelerator::send(uint32_t queue, core::StreamPacket&& pkt)
+{
+    size_t bytes = pkt.size();
+    if (!fld_.tx(queue, std::move(pkt))) {
+        stats_.tx_failed++;
+        return false;
+    }
+    stats_.packets_out++;
+    stats_.bytes_out += bytes;
+    return true;
+}
+
+} // namespace fld::accel

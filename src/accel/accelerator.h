@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Base class for accelerator functional units (AFUs) sitting behind
+ * FLD's AXI-stream interface (§5.5).
+ *
+ * The timing model is a bank of parallel processing units, each a
+ * serial server with a per-packet service time (setup + bytes/rate) —
+ * matching how the paper describes its AFUs (e.g., 8 ZUC modules at
+ * 4.76 Gbps each behind a load balancer). Per §5.5 the accelerator may
+ * not backpressure FLD: when all unit queues exceed the configured
+ * depth, packets are dropped and counted, which is exactly the
+ * admission behaviour the IoT isolation experiment measures.
+ */
+#ifndef FLD_ACCEL_ACCELERATOR_H
+#define FLD_ACCEL_ACCELERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fld/flexdriver.h"
+#include "sim/event_queue.h"
+
+namespace fld::accel {
+
+/** Processing-bank parameters. */
+struct UnitModel
+{
+    uint32_t units = 1;
+    sim::TimePs setup_time = sim::nanoseconds(100); ///< per packet
+    double unit_gbps = 0.0; ///< payload processing rate (0 = instant)
+    uint32_t queue_depth = 64; ///< per-unit input queue (packets)
+
+    sim::TimePs service_time(size_t bytes) const
+    {
+        sim::TimePs t = setup_time;
+        if (unit_gbps > 0)
+            t += sim::serialize_time(bytes, unit_gbps);
+        return t;
+    }
+};
+
+struct AccelStats
+{
+    uint64_t packets_in = 0;
+    uint64_t bytes_in = 0;
+    uint64_t packets_out = 0;
+    uint64_t bytes_out = 0;
+    uint64_t dropped_overload = 0; ///< all unit queues full
+    uint64_t dropped_invalid = 0;  ///< workload-specific rejections
+    uint64_t tx_failed = 0;        ///< FLD had no credits
+};
+
+class Accelerator
+{
+  public:
+    Accelerator(std::string name, sim::EventQueue& eq,
+                core::FlexDriver& fld, UnitModel model);
+    virtual ~Accelerator() = default;
+
+    const AccelStats& stats() const { return stats_; }
+    const std::string& name() const { return name_; }
+
+    /**
+     * Feed a packet directly into the unit bank, bypassing FLD — for
+     * unit tests and for composing AFUs in front of each other.
+     */
+    void inject(core::StreamPacket&& pkt) { on_rx(std::move(pkt)); }
+
+  protected:
+    /**
+     * Workload logic: runs after a unit finishes the packet's service
+     * time. Implementations transmit results with send().
+     */
+    virtual void process(core::StreamPacket&& pkt) = 0;
+
+    /**
+     * Per-packet service time; defaults to the unit model. Override
+     * to model data-dependent costs (e.g., key-cache hits).
+     */
+    virtual sim::TimePs service_time_for(const core::StreamPacket& pkt)
+    {
+        return model().service_time(pkt.size());
+    }
+
+    const UnitModel& model() const { return model_; }
+
+    /** Transmit through FLD, counting failures. */
+    bool send(uint32_t queue, core::StreamPacket&& pkt);
+
+    sim::EventQueue& eq_;
+    core::FlexDriver& fld_;
+    AccelStats stats_;
+
+  private:
+    void on_rx(core::StreamPacket&& pkt);
+
+    std::string name_;
+
+  protected:
+    UnitModel model_;
+
+  private:
+    std::vector<sim::TimePs> unit_busy_until_;
+    std::vector<uint32_t> unit_queued_;
+};
+
+} // namespace fld::accel
+
+#endif // FLD_ACCEL_ACCELERATOR_H

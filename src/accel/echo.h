@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Echo AFU: sends back everything it receives (§8.1's FLD-E/FLD-R
+ * microbenchmark accelerator).
+ *
+ * FLD-E: echoes each frame, preserving the resume metadata so echoed
+ * packets re-enter the NIC pipeline at the right table.
+ * FLD-R: MPRQ delivers per-packet completions (§6); the echo collects
+ * them and responds once per message.
+ */
+#ifndef FLD_ACCEL_ECHO_H
+#define FLD_ACCEL_ECHO_H
+
+#include <map>
+#include <vector>
+
+#include "accel/accelerator.h"
+
+namespace fld::accel {
+
+class EchoAccelerator : public Accelerator
+{
+  public:
+    /** Echo is a trivial streaming AFU: a few 250 MHz cycles per
+     *  packet across two pipeline lanes — never the bottleneck. */
+    static UnitModel default_model()
+    {
+        UnitModel m;
+        m.units = 2;
+        m.setup_time = sim::nanoseconds(20);
+        m.unit_gbps = 100.0;
+        m.queue_depth = 512;
+        return m;
+    }
+
+    EchoAccelerator(sim::EventQueue& eq, core::FlexDriver& fld,
+                    uint32_t tx_queue = 0,
+                    UnitModel model = default_model())
+        : Accelerator("echo", eq, fld, model), tx_queue_(tx_queue)
+    {}
+
+  protected:
+    void process(core::StreamPacket&& pkt) override
+    {
+        if (!pkt.meta.is_rdma) {
+            core::StreamPacket out;
+            out.data = std::move(pkt.data);
+            out.meta.context_id = pkt.meta.context_id;
+            out.meta.next_table = pkt.meta.next_table;
+            send(tx_queue_, std::move(out));
+            return;
+        }
+        // Incremental message assembly from per-packet completions.
+        // Units may retire packets out of order: complete on byte
+        // count, not on the last-packet flag alone.
+        Partial& msg = rdma_messages_[pkt.meta.msg_id];
+        if (msg.data.size() < pkt.meta.msg_offset + pkt.size())
+            msg.data.resize(pkt.meta.msg_offset + pkt.size());
+        std::copy(pkt.data.begin(), pkt.data.end(),
+                  msg.data.begin() + pkt.meta.msg_offset);
+        msg.received += uint32_t(pkt.size());
+        if (pkt.meta.msg_last) {
+            msg.total = pkt.meta.msg_offset + uint32_t(pkt.size());
+            msg.total_known = true;
+        }
+        if (!msg.total_known || msg.received < msg.total)
+            return;
+
+        core::StreamPacket out;
+        out.data = std::move(msg.data);
+        rdma_messages_.erase(pkt.meta.msg_id);
+        out.meta.msg_id = pkt.meta.msg_id;
+        send(tx_queue_, std::move(out));
+    }
+
+  private:
+    struct Partial
+    {
+        std::vector<uint8_t> data;
+        uint32_t received = 0;
+        uint32_t total = 0;
+        bool total_known = false;
+    };
+
+    uint32_t tx_queue_;
+    std::map<uint32_t, Partial> rdma_messages_;
+};
+
+} // namespace fld::accel
+
+#endif // FLD_ACCEL_ECHO_H

@@ -1,0 +1,102 @@
+#include "accel/zuc_accel.h"
+
+#include <algorithm>
+
+#include "crypto/zuc.h"
+
+namespace fld::accel {
+
+sim::TimePs
+ZucAccelerator::service_time_for(const core::StreamPacket& pkt)
+{
+    sim::TimePs t = model_.service_time(pkt.size());
+    if (key_cache_entries_ == 0)
+        return t;
+    // Only the first packet of a request carries the 64 B header.
+    if (pkt.meta.msg_offset != 0 || pkt.size() < kZucHeaderLen)
+        return t;
+    ZucHeader hdr = ZucHeader::decode(pkt.data.data());
+    auto it = std::find(key_cache_.begin(), key_cache_.end(), hdr.key);
+    if (it != key_cache_.end()) {
+        key_hits_++;
+        key_cache_.erase(it);
+        key_cache_.push_front(hdr.key); // LRU bump
+        return t > key_setup_ ? t - key_setup_ : 0;
+    }
+    key_misses_++;
+    key_cache_.push_front(hdr.key);
+    if (key_cache_.size() > key_cache_entries_)
+        key_cache_.pop_back();
+    return t;
+}
+
+void
+ZucAccelerator::process(core::StreamPacket&& pkt)
+{
+    // FLD-R delivers per-packet completions; the processing units may
+    // finish them out of order, so completion is by byte count, not
+    // by seeing the last packet.
+    Partial& msg = partial_[pkt.meta.msg_id];
+    if (msg.data.size() < pkt.meta.msg_offset + pkt.size())
+        msg.data.resize(pkt.meta.msg_offset + pkt.size());
+    std::copy(pkt.data.begin(), pkt.data.end(),
+              msg.data.begin() + pkt.meta.msg_offset);
+    msg.received += uint32_t(pkt.size());
+    if (pkt.meta.msg_last) {
+        msg.total = pkt.meta.msg_offset + uint32_t(pkt.size());
+        msg.total_known = true;
+    }
+    if (!msg.total_known || msg.received < msg.total)
+        return;
+
+    std::vector<uint8_t> whole = std::move(msg.data);
+    partial_.erase(pkt.meta.msg_id);
+    serve(pkt.meta.msg_id, std::move(whole));
+}
+
+void
+ZucAccelerator::serve(uint32_t msg_id, std::vector<uint8_t>&& msg)
+{
+    auto parsed = zuc_parse(msg);
+    core::StreamPacket out;
+    out.meta.msg_id = msg_id;
+
+    if (!parsed) {
+        stats_.dropped_invalid++;
+        ZucHeader err;
+        err.status = ZucStatus::BadRequest;
+        out.data = zuc_request(err, {});
+        send(tx_queue_, std::move(out));
+        return;
+    }
+    auto& [hdr, payload] = *parsed;
+    size_t max_bits = payload.size() * 8;
+    if (hdr.length_bits == 0 || hdr.length_bits > max_bits)
+        hdr.length_bits = uint32_t(max_bits);
+
+    ZucHeader resp = hdr;
+    resp.status = ZucStatus::Ok;
+    switch (hdr.op) {
+      case ZucOp::Eea3Crypt:
+        crypto::eea3_crypt(hdr.key, hdr.count, hdr.bearer,
+                           hdr.direction, payload.data(),
+                           hdr.length_bits);
+        break;
+      case ZucOp::Eia3Mac:
+        resp.mac = crypto::eia3_mac(hdr.key, hdr.count, hdr.bearer,
+                                    hdr.direction, payload.data(),
+                                    hdr.length_bits);
+        payload.clear(); // MAC-only response carries no payload
+        break;
+      default:
+        resp.status = ZucStatus::BadRequest;
+        payload.clear();
+        break;
+    }
+
+    served_++;
+    out.data = zuc_request(resp, payload);
+    send(tx_queue_, std::move(out));
+}
+
+} // namespace fld::accel

@@ -1,0 +1,112 @@
+#include "apps/crypto_perf.h"
+
+#include "nic/config.h"
+
+namespace fld::apps {
+
+CryptoPerfClient::CryptoPerfClient(sim::EventQueue& eq,
+                                   driver::RdmaClient& client,
+                                   CryptoPerfConfig cfg)
+    : eq_(eq), client_(client), cfg_(cfg), rng_(cfg.seed)
+{
+    for (auto& b : key_)
+        b = uint8_t(rng_.next());
+    client_.set_msg_handler(
+        [this](uint32_t id, std::vector<uint8_t>&& msg) {
+            on_response(id, std::move(msg));
+        });
+}
+
+void
+CryptoPerfClient::start(sim::TimePs warmup, sim::TimePs duration)
+{
+    running_ = true;
+    measure_start_ = eq_.now() + warmup;
+    end_time_ = eq_.now() + duration;
+    if (cfg_.offered_gbps > 0) {
+        schedule_next_open_loop();
+    } else {
+        for (uint32_t i = 0; i < cfg_.window; ++i)
+            send_one();
+    }
+}
+
+void
+CryptoPerfClient::send_one()
+{
+    if (!running_ || eq_.now() >= end_time_) {
+        running_ = false;
+        return;
+    }
+    std::vector<uint8_t> plaintext(cfg_.request_payload);
+    for (auto& b : plaintext)
+        b = uint8_t(rng_.next());
+
+    accel::ZucHeader hdr;
+    hdr.op = cfg_.op;
+    hdr.key = key_;
+    hdr.count = next_id_;
+    hdr.bearer = 3;
+    hdr.direction = 0;
+    hdr.length_bits = uint32_t(plaintext.size() * 8);
+
+    uint32_t id = next_id_++;
+    if (cfg_.verify)
+        inflight_[id] = {eq_.now(), plaintext};
+    else
+        inflight_[id] = {eq_.now(), {}};
+    client_.post_send(accel::zuc_request(hdr, plaintext), id);
+}
+
+void
+CryptoPerfClient::schedule_next_open_loop()
+{
+    if (!running_ || eq_.now() >= end_time_) {
+        running_ = false;
+        return;
+    }
+    send_one();
+    uint64_t msg_bytes = accel::kZucHeaderLen + cfg_.request_payload;
+    sim::TimePs gap = sim::serialize_time(msg_bytes, cfg_.offered_gbps);
+    eq_.schedule_in(gap, [this] { schedule_next_open_loop(); });
+}
+
+void
+CryptoPerfClient::on_response(uint32_t msg_id,
+                              std::vector<uint8_t>&& msg)
+{
+    auto it = inflight_.find(msg_id);
+    if (it == inflight_.end())
+        return;
+    auto [sent_at, plaintext] = std::move(it->second);
+    inflight_.erase(it);
+
+    ++responses_;
+    last_response_ = eq_.now();
+    if (eq_.now() >= measure_start_ && eq_.now() <= end_time_) {
+        meter_.record(eq_.now(), cfg_.request_payload);
+        latency_us_.add(sim::to_us(eq_.now() - sent_at));
+    }
+
+    if (cfg_.verify && cfg_.op == accel::ZucOp::Eea3Crypt) {
+        auto parsed = accel::zuc_parse(msg);
+        if (parsed && parsed->first.status == accel::ZucStatus::Ok) {
+            auto cipher = parsed->second;
+            crypto::eea3_crypt(key_, parsed->first.count,
+                               parsed->first.bearer,
+                               parsed->first.direction, cipher.data(),
+                               cipher.size() * 8);
+            if (cipher == plaintext)
+                ++verified_ok_;
+            else
+                ++verified_bad_;
+        } else {
+            ++verified_bad_;
+        }
+    }
+
+    if (cfg_.offered_gbps <= 0 && running_)
+        send_one();
+}
+
+} // namespace fld::apps

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * dpdk-test-crypto-perf-style client for the disaggregated ZUC
+ * accelerator (§8.2.1), built on the FLD-R client library path: a
+ * cryptodev-like API posting requests over RDMA and collecting
+ * responses, measuring goodput and latency-vs-load (Figures 8a/8b).
+ */
+#ifndef FLD_APPS_CRYPTO_PERF_H
+#define FLD_APPS_CRYPTO_PERF_H
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "accel/zuc_protocol.h"
+#include "driver/rdma_client.h"
+#include "sim/stats.h"
+#include "util/rng.h"
+
+namespace fld::apps {
+
+struct CryptoPerfConfig
+{
+    size_t request_payload = 512; ///< plaintext bytes per request
+    uint32_t window = 32;         ///< outstanding requests
+    double offered_gbps = 0.0;    ///< 0 = closed loop
+    accel::ZucOp op = accel::ZucOp::Eea3Crypt;
+    bool verify = false; ///< decrypt locally and check round trip
+    uint64_t seed = 11;
+};
+
+class CryptoPerfClient
+{
+  public:
+    CryptoPerfClient(sim::EventQueue& eq, driver::RdmaClient& client,
+                     CryptoPerfConfig cfg = {});
+
+    void start(sim::TimePs warmup, sim::TimePs duration);
+
+    /** Goodput counted as request payload bytes per second. */
+    const sim::RateMeter& response_meter() const { return meter_; }
+    const sim::Histogram& latency_us() const { return latency_us_; }
+    uint64_t responses() const { return responses_; }
+    uint64_t verified_ok() const { return verified_ok_; }
+    uint64_t verified_bad() const { return verified_bad_; }
+    sim::TimePs measure_start() const { return measure_start_; }
+    sim::TimePs last_response() const { return last_response_; }
+
+  private:
+    void send_one();
+    void schedule_next_open_loop();
+    void on_response(uint32_t msg_id, std::vector<uint8_t>&& msg);
+
+    sim::EventQueue& eq_;
+    driver::RdmaClient& client_;
+    CryptoPerfConfig cfg_;
+    Rng rng_;
+    crypto::Zuc::Key key_{};
+
+    bool running_ = false;
+    sim::TimePs measure_start_ = 0;
+    sim::TimePs end_time_ = 0;
+    sim::TimePs last_response_ = 0;
+    uint32_t next_id_ = 1;
+    uint64_t responses_ = 0;
+    uint64_t verified_ok_ = 0;
+    uint64_t verified_bad_ = 0;
+    std::map<uint32_t, std::pair<sim::TimePs, std::vector<uint8_t>>>
+        inflight_; ///< msg_id -> (send time, original plaintext)
+    sim::RateMeter meter_;
+    sim::Histogram latency_us_;
+};
+
+} // namespace fld::apps
+
+#endif // FLD_APPS_CRYPTO_PERF_H

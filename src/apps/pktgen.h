@@ -1,0 +1,104 @@
+/**
+ * @file
+ * testpmd-like packet generator / echo-measurement application.
+ *
+ * Drives a CpuDriver queue: open-loop at an offered rate or
+ * closed-loop with a fixed window, fixed packet sizes or the IMC-2010
+ * datacenter mixture, and measures delivered throughput plus — when
+ * the far end echoes — round-trip latency (Table 6, Figures 7b/7c).
+ */
+#ifndef FLD_APPS_PKTGEN_H
+#define FLD_APPS_PKTGEN_H
+
+#include <cstdint>
+#include <functional>
+
+#include "driver/cpu_driver.h"
+#include "net/headers.h"
+#include "sim/stats.h"
+#include "util/rng.h"
+
+namespace fld::apps {
+
+struct PktGenConfig
+{
+    /** Ethernet frame size (including headers); >= 64. */
+    size_t frame_size = 64;
+    /** Use the IMC-2010 size mixture instead of a fixed size. */
+    bool imc_mix = false;
+    /** Number of distinct UDP flows (source ports). */
+    uint32_t flows = 1;
+    /** Offered load; 0 means closed loop. */
+    double offered_gbps = 0.0;
+    /** Closed-loop window (outstanding packets). */
+    uint32_t window = 64;
+    /** Expect echoes and measure RTT. */
+    bool measure_rtt = false;
+
+    net::MacAddr src_mac{2, 0, 0, 0, 0, 0xc1};
+    net::MacAddr dst_mac{2, 0, 0, 0, 0, 0x51};
+    uint32_t src_ip = net::ipv4_addr(10, 0, 0, 2);
+    uint32_t dst_ip = net::ipv4_addr(10, 0, 0, 1);
+    uint16_t base_sport = 40000;
+    uint16_t dport = 9000;
+    uint64_t seed = 7;
+};
+
+/**
+ * The IMC-2010 datacenter packet-size mixture [9], approximated as a
+ * small empirical distribution: packet counts are dominated by small
+ * (<200 B) and full-MTU packets. Used for the mixed-size Mpps
+ * comparison of §8.1.1 (12.7 Mpps FLD-E vs 9.6 Mpps CPU testpmd).
+ */
+size_t imc_frame_size(Rng& rng);
+
+class PacketGen
+{
+  public:
+    PacketGen(sim::EventQueue& eq, driver::CpuDriver& driver,
+              uint32_t queue, PktGenConfig cfg = {});
+
+    /**
+     * Generate for @p duration; samples taken after @p warmup count
+     * toward the reported meters/histogram.
+     */
+    void start(sim::TimePs warmup, sim::TimePs duration);
+
+    /** Measured delivered (received-back) traffic. */
+    const sim::RateMeter& rx_meter() const { return rx_meter_; }
+    const sim::RateMeter& tx_meter() const { return tx_meter_; }
+    /** RTT in microseconds (measure_rtt mode). */
+    const sim::Histogram& rtt_us() const { return rtt_us_; }
+
+    uint64_t tx_count() const { return tx_count_; }
+    uint64_t rx_count() const { return rx_count_; }
+    sim::TimePs measure_start() const { return measure_start_; }
+    sim::TimePs measure_end() const { return last_rx_; }
+
+  private:
+    void send_one();
+    void schedule_next_open_loop();
+    void on_rx(net::Packet&& pkt);
+    net::Packet make_packet();
+
+    sim::EventQueue& eq_;
+    driver::CpuDriver& driver_;
+    uint32_t queue_;
+    PktGenConfig cfg_;
+    Rng rng_;
+
+    bool running_ = false;
+    sim::TimePs measure_start_ = 0;
+    sim::TimePs end_time_ = 0;
+    sim::TimePs last_rx_ = 0;
+    uint64_t next_cookie_ = 1;
+    uint64_t tx_count_ = 0;
+    uint64_t rx_count_ = 0;
+    sim::RateMeter rx_meter_;
+    sim::RateMeter tx_meter_;
+    sim::Histogram rtt_us_;
+};
+
+} // namespace fld::apps
+
+#endif // FLD_APPS_PKTGEN_H

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Ready-made experiment scenarios assembling Testbed + steering +
+ * accelerators + workloads exactly as §8 describes. Shared by the
+ * reproduction benches, the examples, and the integration tests.
+ */
+#ifndef FLD_APPS_SCENARIOS_H
+#define FLD_APPS_SCENARIOS_H
+
+#include <memory>
+
+#include "accel/defrag_accel.h"
+#include "accel/echo.h"
+#include "accel/iot_auth.h"
+#include "accel/zuc_accel.h"
+#include "apps/crypto_perf.h"
+#include "apps/iperf.h"
+#include "apps/pktgen.h"
+#include "apps/testbed.h"
+#include "apps/trex.h"
+#include "driver/rdma_client.h"
+#include "driver/sw_stack.h"
+
+namespace fld::apps {
+
+// ---------------------------------------------------------------------
+// FLD-E echo (§8.1.1): load generator <-> FLD echo accelerator.
+// ---------------------------------------------------------------------
+
+struct EchoScenario
+{
+    std::unique_ptr<Testbed> tb;
+    std::unique_ptr<driver::CpuDriver> gen_driver;
+    std::unique_ptr<PacketGen> gen;
+    std::unique_ptr<accel::EchoAccelerator> echo;
+    runtime::FldRuntime::EthQueue q0;
+    bool remote = true;
+};
+
+/**
+ * Remote: testpmd-like generator on the client node, echo AFU behind
+ * FLD on the server, 25 GbE wire between them.
+ * Local: generator on the server host's vPort, eSwitch loopback
+ * between the generator vPort and the FLD vPort (50 Gbps PCIe bound).
+ */
+std::unique_ptr<EchoScenario> make_fld_echo(bool remote,
+                                            PktGenConfig gen_cfg = {},
+                                            TestbedConfig tb_cfg = {});
+
+/** CPU baseline: the echo runs in testpmd on the server host. */
+struct CpuEchoScenario
+{
+    std::unique_ptr<Testbed> tb;
+    std::unique_ptr<driver::CpuDriver> gen_driver;  ///< client side
+    std::unique_ptr<driver::CpuDriver> echo_driver; ///< server side
+    std::unique_ptr<PacketGen> gen;
+    uint64_t echoed = 0;
+};
+
+std::unique_ptr<CpuEchoScenario>
+make_cpu_echo(bool remote, PktGenConfig gen_cfg = {},
+              TestbedConfig tb_cfg = {});
+
+// ---------------------------------------------------------------------
+// FLD-R (§8.1.2 echo, §8.2.1 ZUC): RDMA client <-> FLD-R accelerator.
+// ---------------------------------------------------------------------
+
+struct FldrScenario
+{
+    std::unique_ptr<Testbed> tb;
+    std::unique_ptr<driver::RdmaClient> client;
+    std::unique_ptr<accel::Accelerator> afu;
+    runtime::FldRuntime::FldQp qp;
+};
+
+/**
+ * Build an FLD-R scenario with the given AFU factory. @p local places
+ * the client QP on the server host (same-NIC loopback).
+ */
+std::unique_ptr<FldrScenario> make_fldr_echo(bool remote,
+                                             TestbedConfig tb_cfg = {});
+std::unique_ptr<FldrScenario> make_fldr_zuc(bool remote,
+                                            TestbedConfig tb_cfg = {});
+
+// ---------------------------------------------------------------------
+// IP defragmentation (§8.2.2).
+// ---------------------------------------------------------------------
+
+struct DefragScenario
+{
+    std::unique_ptr<Testbed> tb;
+    std::unique_ptr<driver::CpuDriver> sender_driver; ///< client
+    std::unique_ptr<IperfSender> iperf;
+    std::unique_ptr<driver::CpuDriver> server_driver; ///< receiver app
+    std::unique_ptr<driver::SoftwareReceiveStack> stack;
+    std::unique_ptr<accel::DefragAccelerator> defrag;
+    runtime::FldRuntime::EthQueue q0;
+};
+
+struct DefragOptions
+{
+    bool fragmented = false;   ///< route MTU below packet size
+    bool vxlan = false;        ///< tunnel + pre-fragmentation
+    bool hw_defrag = false;    ///< steer fragments through the AFU
+    uint32_t rx_queues = 16;   ///< receiver RSS width (one core each)
+};
+
+std::unique_ptr<DefragScenario>
+make_defrag(const DefragOptions& opt, TestbedConfig tb_cfg = {});
+
+// ---------------------------------------------------------------------
+// IoT token authentication (§8.2.3).
+// ---------------------------------------------------------------------
+
+struct IotScenario
+{
+    std::unique_ptr<Testbed> tb;
+    std::unique_ptr<driver::CpuDriver> gen_driver; ///< client (TRex)
+    std::unique_ptr<TrexGen> trex;
+    std::unique_ptr<driver::CpuDriver> server_driver;
+    std::unique_ptr<accel::IotAuthAccelerator> auth;
+    runtime::FldRuntime::EthQueue q0;
+    /** Per-tenant bytes accepted (delivered to the server app). */
+    std::map<uint32_t, uint64_t> accepted_bytes;
+    std::map<uint32_t, sim::RateMeter> accepted_meter;
+};
+
+struct IotOptions
+{
+    std::vector<TenantFlow> tenants;
+    /** Per-tenant NIC max-bandwidth shaping; 0 = no shaping (§8.2.3). */
+    double tenant_rate_cap_gbps = 0.0;
+    /** Accelerator acceptance capacity (12 Gbps in the paper). */
+    double accel_capacity_gbps = 12.0;
+};
+
+std::unique_ptr<IotScenario> make_iot(const IotOptions& opt,
+                                      TestbedConfig tb_cfg = {});
+
+} // namespace fld::apps
+
+#endif // FLD_APPS_SCENARIOS_H

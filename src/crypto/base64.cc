@@ -1,0 +1,77 @@
+#include "crypto/base64.h"
+
+#include <array>
+
+namespace fld::crypto {
+
+namespace {
+const char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+struct ReverseTable
+{
+    std::array<int8_t, 256> t;
+    ReverseTable()
+    {
+        t.fill(-1);
+        for (int i = 0; i < 64; ++i)
+            t[uint8_t(kAlphabet[i])] = int8_t(i);
+    }
+};
+const ReverseTable kReverse;
+} // namespace
+
+std::string
+base64url_encode(const uint8_t* data, size_t len)
+{
+    std::string out;
+    out.reserve((len + 2) / 3 * 4);
+    size_t i = 0;
+    for (; i + 3 <= len; i += 3) {
+        uint32_t v = uint32_t(data[i]) << 16 | uint32_t(data[i + 1]) << 8 |
+                     uint32_t(data[i + 2]);
+        out.push_back(kAlphabet[(v >> 18) & 63]);
+        out.push_back(kAlphabet[(v >> 12) & 63]);
+        out.push_back(kAlphabet[(v >> 6) & 63]);
+        out.push_back(kAlphabet[v & 63]);
+    }
+    size_t rem = len - i;
+    if (rem == 1) {
+        uint32_t v = uint32_t(data[i]) << 16;
+        out.push_back(kAlphabet[(v >> 18) & 63]);
+        out.push_back(kAlphabet[(v >> 12) & 63]);
+    } else if (rem == 2) {
+        uint32_t v = uint32_t(data[i]) << 16 | uint32_t(data[i + 1]) << 8;
+        out.push_back(kAlphabet[(v >> 18) & 63]);
+        out.push_back(kAlphabet[(v >> 12) & 63]);
+        out.push_back(kAlphabet[(v >> 6) & 63]);
+    }
+    return out;
+}
+
+std::optional<std::vector<uint8_t>>
+base64url_decode(const std::string& s)
+{
+    size_t rem = s.size() % 4;
+    if (rem == 1)
+        return std::nullopt; // impossible length
+
+    std::vector<uint8_t> out;
+    out.reserve(s.size() / 4 * 3 + 2);
+    uint32_t acc = 0;
+    int bits = 0;
+    for (char c : s) {
+        int8_t v = kReverse.t[uint8_t(c)];
+        if (v < 0)
+            return std::nullopt;
+        acc = acc << 6 | uint32_t(v);
+        bits += 6;
+        if (bits >= 8) {
+            bits -= 8;
+            out.push_back(uint8_t(acc >> bits));
+        }
+    }
+    return out;
+}
+
+} // namespace fld::crypto

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Base64url (RFC 4648 §5, unpadded) encoding as used by JSON Web Tokens.
+ */
+#ifndef FLD_CRYPTO_BASE64_H
+#define FLD_CRYPTO_BASE64_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fld::crypto {
+
+/** Encode bytes as unpadded base64url. */
+std::string base64url_encode(const uint8_t* data, size_t len);
+
+inline std::string
+base64url_encode(const std::string& s)
+{
+    return base64url_encode(reinterpret_cast<const uint8_t*>(s.data()),
+                            s.size());
+}
+
+/** Decode unpadded base64url; nullopt on invalid input. */
+std::optional<std::vector<uint8_t>> base64url_decode(const std::string& s);
+
+} // namespace fld::crypto
+
+#endif // FLD_CRYPTO_BASE64_H

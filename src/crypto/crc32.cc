@@ -1,0 +1,37 @@
+#include "crypto/crc32.h"
+
+namespace fld::crypto {
+
+namespace {
+struct Crc32Table
+{
+    uint32_t t[256];
+    Crc32Table()
+    {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+    }
+};
+const Crc32Table kTable;
+} // namespace
+
+uint32_t
+crc32_update(uint32_t crc, const uint8_t* data, size_t len)
+{
+    crc = ~crc;
+    for (size_t i = 0; i < len; ++i)
+        crc = kTable.t[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+    return ~crc;
+}
+
+uint32_t
+crc32(const uint8_t* data, size_t len)
+{
+    return crc32_update(0, data, len);
+}
+
+} // namespace fld::crypto

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3) used for Ethernet frame check sequences.
+ */
+#ifndef FLD_CRYPTO_CRC32_H
+#define FLD_CRYPTO_CRC32_H
+
+#include <cstdint>
+#include <cstddef>
+
+namespace fld::crypto {
+
+/** CRC-32/ISO-HDLC: reflected 0x04C11DB7, init/xorout 0xFFFFFFFF. */
+uint32_t crc32(const uint8_t* data, size_t len);
+
+/** Incremental form: feed @p crc from a previous call (start with 0). */
+uint32_t crc32_update(uint32_t crc, const uint8_t* data, size_t len);
+
+} // namespace fld::crypto
+
+#endif // FLD_CRYPTO_CRC32_H

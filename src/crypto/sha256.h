@@ -1,0 +1,72 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4) and HMAC-SHA256 (RFC 2104).
+ *
+ * Used by the IoT token-authentication accelerator (§7) to validate
+ * JSON-Web-Token HMAC-SHA256 signatures, and by its CPU baseline.
+ */
+#ifndef FLD_CRYPTO_SHA256_H
+#define FLD_CRYPTO_SHA256_H
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fld::crypto {
+
+using Sha256Digest = std::array<uint8_t, 32>;
+
+/** Incremental SHA-256 context. */
+class Sha256
+{
+  public:
+    Sha256() { reset(); }
+
+    void reset();
+    void update(const uint8_t* data, size_t len);
+    void update(const std::string& s)
+    {
+        update(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+    }
+
+    /** Finish and return the digest; the context must be reset after. */
+    Sha256Digest finish();
+
+    /** One-shot convenience. */
+    static Sha256Digest digest(const uint8_t* data, size_t len);
+    static Sha256Digest digest(const std::string& s)
+    {
+        return digest(reinterpret_cast<const uint8_t*>(s.data()),
+                      s.size());
+    }
+
+  private:
+    void compress(const uint8_t block[64]);
+
+    uint32_t h_[8];
+    uint8_t buf_[64];
+    size_t buf_len_ = 0;
+    uint64_t total_len_ = 0;
+};
+
+/** HMAC-SHA256 of @p data under @p key. */
+Sha256Digest hmac_sha256(const uint8_t* key, size_t key_len,
+                         const uint8_t* data, size_t data_len);
+
+inline Sha256Digest
+hmac_sha256(const std::string& key, const std::string& data)
+{
+    return hmac_sha256(reinterpret_cast<const uint8_t*>(key.data()),
+                       key.size(),
+                       reinterpret_cast<const uint8_t*>(data.data()),
+                       data.size());
+}
+
+/** Constant-time digest comparison. */
+bool digest_equal(const Sha256Digest& a, const Sha256Digest& b);
+
+} // namespace fld::crypto
+
+#endif // FLD_CRYPTO_SHA256_H

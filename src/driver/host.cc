@@ -1,0 +1,37 @@
+#include "driver/host.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fld::driver {
+
+HostNode::HostNode(std::string name, sim::EventQueue& eq, HostConfig cfg)
+    : name_(std::move(name)), eq_(eq), cfg_(cfg),
+      busy_until_(cfg.cores, 0), busy_time_(cfg.cores, 0),
+      rng_(cfg.seed)
+{
+    if (cfg.cores == 0)
+        fatal("HostNode: need at least one core");
+}
+
+void
+HostNode::run_on_core(uint32_t core, sim::TimePs cost,
+                      std::function<void()> fn)
+{
+    if (core >= cfg_.cores)
+        fatal("%s: core %u out of range", name_.c_str(), core);
+
+    sim::TimePs start = std::max(eq_.now(), busy_until_[core]);
+    // OS interference: the scheduler occasionally takes the core away.
+    if (cfg_.jitter_prob > 0 && rng_.chance(cfg_.jitter_prob)) {
+        start += cfg_.jitter_min +
+                 sim::TimePs(rng_.exponential(
+                     double(cfg_.jitter_mean_extra)));
+    }
+    busy_until_[core] = start + cost;
+    busy_time_[core] += cost;
+    eq_.schedule_at(busy_until_[core], std::move(fn));
+}
+
+} // namespace fld::driver

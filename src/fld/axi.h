@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The FLD <-> accelerator interface (§5.5).
+ *
+ * Two AXI4-Stream-like channels carry packets with sideband metadata.
+ * Receive: the accelerator may NOT backpressure FLD (it must meet line
+ * rate, flow-control at the application layer, or drop). Transmit:
+ * FLD exposes per-queue credits over its descriptor pool and data
+ * buffer so accelerators can allocate resources across queues.
+ */
+#ifndef FLD_FLD_AXI_H
+#define FLD_FLD_AXI_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace fld::core {
+
+/** Sideband metadata accompanying each streamed packet. */
+struct StreamMeta
+{
+    uint32_t queue = 0;      ///< FLD queue index
+    uint32_t context_id = 0; ///< NIC flow tag (tenant/VM identity, §5.4)
+    uint32_t next_table = 0; ///< FLD-E: table to resume after accel
+    uint32_t rss_hash = 0;
+    bool l3_csum_ok = false; ///< NIC offload verdicts, from the CQE
+    bool l4_csum_ok = false;
+    bool ip_fragment = false;
+    bool tunneled = false;
+    // RDMA (FLD-R) message framing, from per-packet MPRQ completions:
+    uint32_t msg_id = 0;
+    uint32_t msg_offset = 0;
+    uint32_t msg_len = 0;
+    bool msg_last = false;
+    bool is_rdma = false;
+};
+
+/** A packet on the stream interface. */
+struct StreamPacket
+{
+    std::vector<uint8_t> data;
+    StreamMeta meta;
+
+    size_t size() const { return data.size(); }
+};
+
+/** Per-queue transmit credit snapshot. */
+struct TxCredits
+{
+    uint32_t descriptors = 0; ///< WQE slots available
+    uint32_t buffer_bytes = 0;
+};
+
+/** Receive-side handler type (no backpressure allowed). */
+using StreamRxHandler = std::function<void(StreamPacket&&)>;
+
+/** Credit-return notification: (queue, descs freed, bytes freed). */
+using CreditHandler =
+    std::function<void(uint32_t queue, uint32_t descs, uint32_t bytes)>;
+
+} // namespace fld::core
+
+#endif // FLD_FLD_AXI_H

@@ -1,0 +1,153 @@
+#include "fld/buffer_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/bitops.h"
+#include "util/logging.h"
+
+namespace fld::core {
+
+TxBufferPool::TxBufferPool(uint32_t phys_bytes, uint32_t queues,
+                           uint32_t vwindow_bytes)
+    : vwindow_(vwindow_bytes),
+      window_chunks_(vwindow_bytes / kChunkBytes)
+{
+    if (!is_pow2(vwindow_bytes) || vwindow_bytes % kChunkBytes != 0)
+        fatal("TxBufferPool: bad virtual window size");
+    uint32_t phys_chunks = phys_bytes / kChunkBytes;
+    data_.resize(size_t(phys_chunks) * kChunkBytes);
+    free_list_.reserve(phys_chunks);
+    // LIFO free list; order does not matter for correctness.
+    for (uint32_t c = 0; c < phys_chunks; ++c)
+        free_list_.push_back(phys_chunks - 1 - c);
+    queues_.resize(queues);
+    for (auto& q : queues_)
+        q.xlt.assign(window_chunks_, ~0u);
+}
+
+std::optional<uint64_t>
+TxBufferPool::alloc(uint32_t q, uint32_t len)
+{
+    if (q >= queues_.size() || len == 0 || len > vwindow_)
+        return std::nullopt;
+    QueueState& qs = queues_[q];
+    uint32_t chunks = uint32_t(ceil_div<uint64_t>(len, kChunkBytes));
+    if (free_list_.size() < chunks)
+        return std::nullopt;
+
+    // Virtually contiguous: if the allocation would cross the window
+    // end, pad to the window start (bounded fragmentation).
+    uint64_t voff = qs.next_voff;
+    uint64_t in_window = voff % vwindow_;
+    uint64_t padding = 0;
+    if (in_window + len > vwindow_)
+        padding = vwindow_ - in_window;
+
+    // The window must not overrun the oldest outstanding allocation.
+    if (qs.outstanding_bytes + padding + uint64_t(chunks) * kChunkBytes >
+        vwindow_) {
+        return std::nullopt;
+    }
+    if (padding > 0) {
+        // Record the pad as a zero-chunk allocation so frees stay FIFO.
+        qs.allocs.push_back({voff, uint32_t(padding), 0});
+        qs.outstanding_bytes += padding;
+        voff += padding;
+    }
+
+    uint64_t vchunk0 = (voff % vwindow_) / kChunkBytes;
+    for (uint32_t c = 0; c < chunks; ++c) {
+        uint32_t phys = free_list_.back();
+        free_list_.pop_back();
+        qs.xlt[(vchunk0 + c) % window_chunks_] = phys;
+    }
+    qs.allocs.push_back({voff, len, chunks});
+    qs.outstanding_bytes += uint64_t(chunks) * kChunkBytes;
+    qs.next_voff = voff + uint64_t(chunks) * kChunkBytes;
+    return voff % vwindow_;
+}
+
+void
+TxBufferPool::free_oldest(uint32_t q)
+{
+    QueueState& qs = queues_[q];
+    // Drop leading pads along with the real allocation.
+    while (!qs.allocs.empty() && qs.allocs.front().chunks == 0) {
+        qs.outstanding_bytes -= qs.allocs.front().len;
+        qs.allocs.pop_front();
+    }
+    if (qs.allocs.empty())
+        return;
+    Alloc a = qs.allocs.front();
+    qs.allocs.pop_front();
+    uint64_t vchunk0 = (a.voff % vwindow_) / kChunkBytes;
+    for (uint32_t c = 0; c < a.chunks; ++c) {
+        uint32_t idx = uint32_t((vchunk0 + c) % window_chunks_);
+        free_list_.push_back(qs.xlt[idx]);
+        qs.xlt[idx] = ~0u;
+    }
+    qs.outstanding_bytes -= uint64_t(a.chunks) * kChunkBytes;
+}
+
+std::optional<uint32_t>
+TxBufferPool::translate(uint32_t q, uint64_t voff) const
+{
+    if (q >= queues_.size() || voff >= vwindow_)
+        return std::nullopt;
+    uint32_t phys_chunk = queues_[q].xlt[voff / kChunkBytes];
+    if (phys_chunk == ~0u)
+        return std::nullopt;
+    return phys_chunk * kChunkBytes + uint32_t(voff % kChunkBytes);
+}
+
+void
+TxBufferPool::write(uint32_t q, uint64_t voff, const uint8_t* src,
+                    uint32_t len)
+{
+    uint32_t done = 0;
+    while (done < len) {
+        auto phys = translate(q, voff + done);
+        if (!phys)
+            panic("TxBufferPool::write: unmapped virtual offset");
+        uint32_t in_chunk = (voff + done) % kChunkBytes;
+        uint32_t take = std::min(len - done, kChunkBytes - in_chunk);
+        std::memcpy(data_.data() + *phys, src + done, take);
+        done += take;
+    }
+}
+
+void
+TxBufferPool::read(uint32_t q, uint64_t voff, uint8_t* dst,
+                   uint32_t len) const
+{
+    uint32_t done = 0;
+    while (done < len) {
+        auto phys = translate(q, voff + done);
+        if (!phys)
+            panic("TxBufferPool::read: unmapped voff=%llu len=%u q=%u",
+                  (unsigned long long)(voff + done), len, q);
+        uint32_t in_chunk = (voff + done) % kChunkBytes;
+        uint32_t take = std::min(len - done, kChunkBytes - in_chunk);
+        std::memcpy(dst + done, data_.data() + *phys, take);
+        done += take;
+    }
+}
+
+uint32_t
+TxBufferPool::available(uint32_t q) const
+{
+    if (q >= queues_.size())
+        return 0;
+    uint64_t window_left = vwindow_ - queues_[q].outstanding_bytes;
+    return uint32_t(std::min<uint64_t>(window_left, free_bytes()));
+}
+
+size_t
+TxBufferPool::xlt_bytes() const
+{
+    // 4 B per virtual chunk per queue.
+    return size_t(queues_.size()) * window_chunks_ * 4;
+}
+
+} // namespace fld::core

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * FLD transmit data buffer: shared physical SRAM behind per-queue
+ * virtual windows (§5.2, "Address Translation").
+ *
+ * The NIC's gather entry needs a virtually contiguous payload, but the
+ * shared physical buffer hands out scattered 256 B chunks. A per-chunk
+ * translation table maps each queue's virtual window onto physical
+ * chunks, which is what lets different queues share one small buffer
+ * with bounded fragmentation (S_txdata = 2 x BDP + S_xltData in
+ * Table 3 instead of max-packet x descriptors).
+ */
+#ifndef FLD_FLD_BUFFER_POOL_H
+#define FLD_FLD_BUFFER_POOL_H
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace fld::core {
+
+class TxBufferPool
+{
+  public:
+    static constexpr uint32_t kChunkBytes = 256;
+
+    /**
+     * @param phys_bytes   Physical SRAM capacity (shared by all queues).
+     * @param queues       Number of transmit queues.
+     * @param vwindow_bytes Virtual window per queue (power of two).
+     */
+    TxBufferPool(uint32_t phys_bytes, uint32_t queues,
+                 uint32_t vwindow_bytes);
+
+    /**
+     * Allocate @p len bytes for queue @p q. Returns the virtual byte
+     * offset inside q's window, or nullopt when out of space. The
+     * allocation is virtually contiguous (never wraps the window).
+     */
+    std::optional<uint64_t> alloc(uint32_t q, uint32_t len);
+
+    /** Release queue @p q's oldest outstanding allocation (FIFO). */
+    void free_oldest(uint32_t q);
+
+    /** Translate a virtual byte offset to a physical byte offset. */
+    std::optional<uint32_t> translate(uint32_t q, uint64_t voff) const;
+
+    /** Copy @p len bytes into the buffer at (q, voff). */
+    void write(uint32_t q, uint64_t voff, const uint8_t* src,
+               uint32_t len);
+
+    /** Copy @p len bytes out of the buffer at (q, voff). */
+    void read(uint32_t q, uint64_t voff, uint8_t* dst,
+              uint32_t len) const;
+
+    uint32_t free_chunks() const { return uint32_t(free_list_.size()); }
+    uint32_t free_bytes() const { return free_chunks() * kChunkBytes; }
+
+    /** Bytes a queue can still allocate (window + physical bound). */
+    uint32_t available(uint32_t q) const;
+
+    /** On-die bytes: physical data + translation table. */
+    size_t memory_bytes() const { return data_.size() + xlt_bytes(); }
+    size_t xlt_bytes() const;
+
+  private:
+    struct Alloc
+    {
+        uint64_t voff;
+        uint32_t len;
+        uint32_t chunks;
+    };
+    struct QueueState
+    {
+        uint64_t next_voff = 0; ///< monotone; wraps via padding
+        uint64_t outstanding_bytes = 0;
+        std::deque<Alloc> allocs;
+        std::vector<uint32_t> xlt; ///< vchunk -> phys chunk
+    };
+
+    uint32_t vwindow_;
+    uint32_t window_chunks_;
+    std::vector<uint8_t> data_;
+    std::vector<uint32_t> free_list_;
+    std::vector<QueueState> queues_;
+};
+
+} // namespace fld::core
+
+#endif // FLD_FLD_BUFFER_POOL_H

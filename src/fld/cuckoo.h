@@ -1,0 +1,90 @@
+/**
+ * @file
+ * 4-bank cuckoo hash table with a small stash (§5.2).
+ *
+ * FLD virtualizes the per-queue transmit descriptor rings: the NIC
+ * reads a queue's virtual ring address, and this table maps
+ * (queue, ring slot) to a slot in one small shared descriptor pool.
+ * The paper's design: 4 banks at load factor 1/2 (the table is sized
+ * at twice the pool capacity, guaranteeing insertion convergence), a
+ * 4-entry stash absorbing displaced entries, and a stall signal when
+ * the stash fills up.
+ */
+#ifndef FLD_FLD_CUCKOO_H
+#define FLD_FLD_CUCKOO_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fld::core {
+
+class CuckooTable
+{
+  public:
+    struct Stats
+    {
+        uint64_t inserts = 0;
+        uint64_t displacements = 0; ///< entries moved between banks
+        uint64_t stash_inserts = 0; ///< entries that visited the stash
+        uint64_t stalls = 0;        ///< rejected inserts (stash full)
+        size_t stash_peak = 0;
+    };
+
+    /**
+     * @param capacity  Max entries stored (pool size). Table slots are
+     *                  2x capacity per the paper's load factor 1/2.
+     * @param banks     Number of hash banks (paper: 4).
+     * @param stash_size Displacement stash entries (paper: 4).
+     */
+    explicit CuckooTable(size_t capacity, unsigned banks = 4,
+                         size_t stash_size = 4,
+                         uint64_t seed = 0x5bd1e995);
+
+    /**
+     * Insert key -> value. Returns false and leaves the table
+     * unchanged when the stash is full (hardware would stall the
+     * producer until a completion releases an entry).
+     */
+    bool insert(uint64_t key, uint32_t value);
+
+    /** Constant-time lookup across banks + stash. */
+    std::optional<uint32_t> lookup(uint64_t key) const;
+
+    /** Remove an entry; drains the stash opportunistically. */
+    bool erase(uint64_t key);
+
+    size_t size() const { return size_; }
+    size_t capacity() const { return capacity_; }
+    bool full() const { return size_ >= capacity_; }
+
+    /** On-die bytes this table occupies (for the memory budget). */
+    size_t memory_bytes() const;
+
+    const Stats& stats() const { return stats_; }
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        uint64_t key = 0;
+        uint32_t value = 0;
+    };
+
+    size_t bank_index(unsigned bank, uint64_t key) const;
+    void drain_stash();
+
+    size_t capacity_;
+    unsigned banks_;
+    size_t slots_per_bank_;
+    std::vector<Slot> table_; ///< banks_ x slots_per_bank_
+    std::vector<Slot> stash_;
+    size_t stash_size_;
+    uint64_t seed_;
+    size_t size_ = 0;
+    Stats stats_;
+};
+
+} // namespace fld::core
+
+#endif // FLD_FLD_CUCKOO_H

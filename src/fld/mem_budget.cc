@@ -1,0 +1,36 @@
+#include "fld/mem_budget.h"
+
+namespace fld::core {
+
+void
+MemBudget::add(const std::string& category, uint64_t bytes)
+{
+    for (auto& [name, total] : items_) {
+        if (name == category) {
+            total += bytes;
+            return;
+        }
+    }
+    items_.emplace_back(category, bytes);
+}
+
+uint64_t
+MemBudget::total() const
+{
+    uint64_t sum = 0;
+    for (const auto& [name, bytes] : items_)
+        sum += bytes;
+    return sum;
+}
+
+uint64_t
+MemBudget::of(const std::string& category) const
+{
+    for (const auto& [name, bytes] : items_) {
+        if (name == category)
+            return bytes;
+    }
+    return 0;
+}
+
+} // namespace fld::core

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * On-chip memory budget accounting.
+ *
+ * Every FLD-internal structure registers its byte cost here so tests
+ * can assert the design stays within the prototype FPGA's capacity
+ * (XCKU15P: ~10.05 MiB of BRAM+URAM, §4.3) and benches can print the
+ * Table 3 breakdown from the *actual* instantiated configuration.
+ */
+#ifndef FLD_FLD_MEM_BUDGET_H
+#define FLD_FLD_MEM_BUDGET_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fld::core {
+
+/** XCKU15P on-chip memory capacity in bytes (§4.3: 10.05 MiB). */
+constexpr uint64_t kXcku15pBytes = uint64_t(10.05 * 1024 * 1024);
+
+class MemBudget
+{
+  public:
+    /** Register @p bytes under @p category (accumulates). */
+    void add(const std::string& category, uint64_t bytes);
+
+    uint64_t total() const;
+    uint64_t of(const std::string& category) const;
+
+    /** (category, bytes) in registration order. */
+    const std::vector<std::pair<std::string, uint64_t>>& items() const
+    {
+        return items_;
+    }
+
+    bool fits_on_chip() const { return total() <= kXcku15pBytes; }
+
+  private:
+    std::vector<std::pair<std::string, uint64_t>> items_;
+};
+
+} // namespace fld::core
+
+#endif // FLD_FLD_MEM_BUDGET_H

@@ -1,0 +1,67 @@
+#include "model/area.h"
+
+namespace fld::model {
+
+const char*
+support_str(Support s)
+{
+    switch (s) {
+      case Support::Yes: return "yes";
+      case Support::HostOnly: return "host-NIC only";
+      case Support::No: return "no";
+      default: return "N/A";
+    }
+}
+
+const std::vector<ArchRow>&
+table1_rows()
+{
+    static const std::vector<ArchRow> rows = {
+        {"CPU-mediated", "VN2F [16]", "10", 5.7, 1.1, 233, 0,
+         Support::Yes, Support::Yes, Support::NA},
+        {"Accelerator-hosted", "Corundum [33]", "25", 66.7, 71.7, 239,
+         20, Support::Yes, Support::No, Support::No},
+        {"Accelerator-hosted", "Corundum [33]", "100", 62.4, 76.8, 331,
+         20, Support::Yes, Support::No, Support::No},
+        {"Accelerator-hosted", "StRoM [103]", "10", 92, 115, 181, 0,
+         Support::Yes, Support::No, Support::Yes},
+        {"Accelerator-hosted", "StRoM [103]", "100", 122, 214, 402, 0,
+         Support::Yes, Support::No, Support::Yes},
+        {"BITW", "NICA [28]", "40", 232, 299, 584, 0, Support::Yes,
+         Support::HostOnly, Support::HostOnly},
+        {"BITW", "Innova-1 shell [28]", "40", 169, 212, 152, 0,
+         Support::Yes, Support::HostOnly, Support::HostOnly},
+        {"FlexDriver", "FLD (this work)", "100", 62, 89, 79, 44,
+         Support::Yes, Support::Yes, Support::Yes},
+    };
+    return rows;
+}
+
+const std::vector<ModuleArea>&
+table5_rows()
+{
+    static const std::vector<ModuleArea> rows = {
+        {"FLD", 250, 50, 66, 35, 44, 11},
+        {"PCIe core", 250, 12, 23, 44, 0, 0},
+        {"ZUC", 200, 38, 37, 242, 0, 6},
+        {"IP defrag.", 250, 17, 16, 984, 64, 2},
+        {"IoT auth.", 200, 118, 138, 293, 0, 8},
+    };
+    return rows;
+}
+
+const std::vector<SoftwareLoc>&
+table4_rows()
+{
+    static const std::vector<SoftwareLoc> rows = {
+        {"FLD runtime library", 3753},
+        {"FLD kernel driver", 1137},
+        {"FLD-E control-plane", 1554},
+        {"FLD-R control-plane", 1510},
+        {"FLD-R client library", 754},
+        {"ZUC DPDK driver", 732},
+    };
+    return rows;
+}
+
+} // namespace fld::model

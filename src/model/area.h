@@ -1,0 +1,71 @@
+/**
+ * @file
+ * FPGA area/feature data for Tables 1 and 5.
+ *
+ * Area numbers cannot be re-measured without synthesis hardware, so
+ * the paper-reported values are recorded here as data and reprinted
+ * by the reproduction benches alongside what our model *can* measure:
+ * the on-die memory budget of the instantiated FLD configuration.
+ */
+#ifndef FLD_MODEL_AREA_H
+#define FLD_MODEL_AREA_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fld::model {
+
+/** Feature support levels used by Table 1. */
+enum class Support : uint8_t {
+    Yes,      ///< supported
+    HostOnly, ///< supported only between host and NIC (BITW)
+    No,
+    NA,
+};
+
+const char* support_str(Support s);
+
+/** One row of Table 1. */
+struct ArchRow
+{
+    std::string category;
+    std::string solution;
+    std::string gbps;
+    double luts_k = 0; ///< thousands
+    double ffs_k = 0;
+    int bram = 0;
+    int uram = 0;
+    Support stateless;
+    Support tunneling;
+    Support transport;
+};
+
+/** Table 1 as published (plus the FLD row). */
+const std::vector<ArchRow>& table1_rows();
+
+/** One row of Table 5 (hardware utilization + LOC). */
+struct ModuleArea
+{
+    std::string module;
+    int clock_mhz = 0;
+    double luts_k = 0;
+    double ffs_k = 0;
+    int bram = 0;
+    int uram = 0;
+    int loc_k = 0; ///< thousands of lines of HDL
+};
+
+const std::vector<ModuleArea>& table5_rows();
+
+/** Table 4: software lines of code, as published. */
+struct SoftwareLoc
+{
+    std::string component;
+    int loc = 0;
+};
+const std::vector<SoftwareLoc>& table4_rows();
+
+} // namespace fld::model
+
+#endif // FLD_MODEL_AREA_H

@@ -1,0 +1,75 @@
+#include "model/memory_model.h"
+
+#include <cmath>
+
+#include "util/bitops.h"
+
+namespace fld::model {
+
+namespace {
+/** f(n) from Table 3: round allocations to a larger power of two. */
+double
+f_pow2(double n)
+{
+    return double(round_up_pow2(uint64_t(std::ceil(n))));
+}
+} // namespace
+
+DerivedParams
+derive(const MemoryParams& p)
+{
+    DerivedParams d;
+    // R = B / (M_min + 20 B): bits/s over bits/packet.
+    d.packet_rate_mpps = p.bandwidth_gbps * 1000.0 /
+                         (double(p.min_packet + 20) * 8.0);
+    d.n_txdesc = uint32_t(
+        std::ceil(d.packet_rate_mpps * p.lifetime_tx_us));
+    d.n_rxdesc = uint32_t(
+        std::ceil(d.packet_rate_mpps * p.lifetime_rx_us));
+    // S = B * L: Gbps * us = 125 bytes per unit.
+    d.s_txbdp = p.bandwidth_gbps * p.lifetime_tx_us * 125.0;
+    d.s_rxbdp = p.bandwidth_gbps * p.lifetime_rx_us * 125.0;
+    return d;
+}
+
+MemoryBreakdown
+software_memory(const MemoryParams& p)
+{
+    DerivedParams d = derive(p);
+    MemoryBreakdown m;
+    m.txq = double(p.num_queues) * f_pow2(d.n_txdesc) * p.sw_txdesc;
+    m.txdata = double(p.max_packet) * d.n_txdesc;
+    m.rxdata = double(p.max_packet) * d.n_rxdesc;
+    m.cq = (f_pow2(d.n_txdesc) + f_pow2(d.n_rxdesc)) * p.sw_cqe;
+    m.srq = f_pow2(d.n_rxdesc) * p.sw_rxdesc;
+    m.pi = double(p.num_queues + 1) * p.pi_size;
+    m.total = m.txq + m.txdata + m.rxdata + m.cq + m.srq + m.pi;
+    return m;
+}
+
+MemoryBreakdown
+fld_memory(const MemoryParams& p)
+{
+    DerivedParams d = derive(p);
+    MemoryBreakdown m;
+
+    // Ring translation (cuckoo, §5.2): table at load factor 1/2 is
+    // 2 x f(N_txdesc) slots of 31 bits -> f(N) * 7.75 bytes.
+    double xlt_tx = f_pow2(d.n_txdesc) * 7.75;
+    m.txq = f_pow2(d.n_txdesc) * p.fld_txdesc + xlt_tx;
+
+    // Data translation: anchored to the prototype's 33 KiB at the
+    // Table 3 example BDP (305 KiB), scaling with the BDP.
+    const double example_bdp = 100.0 * 25.0 * 125.0; // 305 KiB
+    double xlt_data = 33.0 * 1024.0 * (d.s_txbdp / example_bdp);
+    m.txdata = 2.0 * d.s_txbdp + xlt_data;
+
+    m.rxdata = 2.0 * d.s_rxbdp;
+    m.cq = (f_pow2(d.n_txdesc) + f_pow2(d.n_rxdesc)) * p.fld_cqe;
+    m.srq = 0; // receive ring lives in host memory (§5.2)
+    m.pi = double(p.num_queues + 1) * p.pi_size;
+    m.total = m.txq + m.txdata + m.rxdata + m.cq + m.srq + m.pi;
+    return m;
+}
+
+} // namespace fld::model

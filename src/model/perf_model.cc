@@ -1,0 +1,119 @@
+#include "model/perf_model.h"
+
+#include <algorithm>
+
+#include "nic/descriptors.h"
+
+namespace fld::model {
+
+double
+eth_goodput_gbps(double eth_gbps, uint32_t frame_bytes)
+{
+    return eth_gbps * double(frame_bytes) / double(frame_bytes + 20);
+}
+
+PcieCost
+echo_pcie_cost(const PerfModelParams& p, uint32_t frame_bytes)
+{
+    const pcie::TlpParams& tlp = p.tlp;
+    PcieCost c;
+
+    // ---- receive path (wire -> NIC -> FLD) ----
+    // Packet data DMA into FLD RX SRAM.
+    c.to_fld += double(tlp.write_wire_bytes(frame_bytes));
+    // RX completion (64 B CQE per packet with MPRQ).
+    c.to_fld += double(tlp.write_wire_bytes(nic::kCqeStride));
+    // RX buffer recycle doorbell, one per MPRQ buffer.
+    c.from_fld += double(tlp.write_wire_bytes(4)) /
+                  double(p.rx_pkts_per_buffer);
+
+    // ---- transmit path (FLD -> NIC -> wire) ----
+    // Doorbell MMIO (coalesced over db_batch packets).
+    c.from_fld += double(tlp.write_wire_bytes(4)) / double(p.db_batch);
+    // Descriptor ring read: request toward FLD, WQE completions back,
+    // amortized over the fetch batch.
+    uint64_t batch_bytes = uint64_t(p.wqe_batch) * nic::kWqeStride;
+    c.to_fld += double(tlp.read_req_wire_bytes(batch_bytes)) /
+                double(p.wqe_batch);
+    c.from_fld += double(tlp.read_cpl_wire_bytes(batch_bytes)) /
+                  double(p.wqe_batch);
+    // Payload gather: request toward FLD, data back.
+    c.to_fld += double(tlp.read_req_wire_bytes(frame_bytes));
+    c.from_fld += double(tlp.read_cpl_wire_bytes(frame_bytes));
+    // TX completion (selective signalling).
+    c.to_fld += double(tlp.write_wire_bytes(nic::kCqeStride)) /
+                double(p.cqe_interval);
+    return c;
+}
+
+double
+fld_pcie_bound_gbps(const PerfModelParams& p, uint32_t frame_bytes)
+{
+    PcieCost c = echo_pcie_cost(p, frame_bytes);
+    double worst = std::max(c.to_fld, c.from_fld);
+    return p.pcie_gbps * double(frame_bytes) / worst;
+}
+
+double
+fld_expected_gbps(const PerfModelParams& p, uint32_t frame_bytes)
+{
+    return std::min(fld_pcie_bound_gbps(p, frame_bytes),
+                    eth_goodput_gbps(p.eth_gbps, frame_bytes));
+}
+
+double
+hostmem_accel_bound_gbps(const PerfModelParams& p, uint32_t frame_bytes)
+{
+    const pcie::TlpParams& tlp = p.tlp;
+    // Toward host memory: the NIC's packet-data and CQE writes, the
+    // accelerator's result write, and the read-request TLPs.
+    double into_host =
+        double(tlp.write_wire_bytes(frame_bytes)) +        // NIC rx
+        double(tlp.write_wire_bytes(nic::kCqeStride)) +    // rx CQE
+        double(tlp.write_wire_bytes(frame_bytes)) +        // accel tx
+        double(tlp.read_req_wire_bytes(frame_bytes)) * 2 + // both reads
+        double(tlp.read_req_wire_bytes(
+            uint64_t(p.wqe_batch) * nic::kWqeStride)) /
+            double(p.wqe_batch);
+    // From host memory: the accelerator's read of the received packet
+    // and the NIC's gather of the result + descriptors.
+    double from_host =
+        double(tlp.read_cpl_wire_bytes(frame_bytes)) * 2 +
+        double(tlp.read_cpl_wire_bytes(
+            uint64_t(p.wqe_batch) * nic::kWqeStride)) /
+            double(p.wqe_batch) +
+        double(tlp.write_wire_bytes(nic::kCqeStride)) /
+            double(p.cqe_interval);
+    double worst = std::max(into_host, from_host);
+    return std::min(p.pcie_gbps * double(frame_bytes) / worst,
+                    eth_goodput_gbps(p.eth_gbps, frame_bytes));
+}
+
+double
+zuc_expected_gbps(const PerfModelParams& p, uint32_t request_bytes,
+                  uint32_t app_header_bytes, uint32_t rdma_mtu)
+{
+    // Wire cost per message: app header + payload split into MTU
+    // segments, each with Ethernet + RoCE-style headers + IFG.
+    uint32_t msg = request_bytes + app_header_bytes;
+    uint32_t segments = std::max(1u, (msg + rdma_mtu - 1) / rdma_mtu);
+    double per_seg_hdr = 14.0 /*eth*/ + 20.0 /*transport*/ +
+                         20.0 /*preamble+IFG*/;
+    double wire_per_msg = double(msg) + double(segments) * per_seg_hdr;
+    // ACK in the reverse direction shares the link with the opposite
+    // data stream; requests and responses are symmetric, so each
+    // direction carries one message stream plus the other's ACKs.
+    double ack_bytes = (14.0 + 20.0 + 20.0) /
+                       16.0 /* coalesced */ * segments;
+    double eth_bound = p.eth_gbps * double(request_bytes) /
+                       (wire_per_msg + ack_bytes);
+
+    // PCIe side: the FLD link moves the message twice (in and out)
+    // with descriptor/completion overheads similar to the echo path.
+    PcieCost c = echo_pcie_cost(p, msg);
+    double pcie_bound = p.pcie_gbps * double(request_bytes) /
+                        std::max(c.to_fld, c.from_fld);
+    return std::min(eth_bound, pcie_bound);
+}
+
+} // namespace fld::model

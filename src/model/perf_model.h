@@ -1,0 +1,79 @@
+/**
+ * @file
+ * FLD performance model (§8.1): per-packet PCIe overhead accounting
+ * and the derived throughput upper bounds of Figure 7a, plus the
+ * model lines of Figures 7b and 8a.
+ *
+ * For every packet FLD exchanges with the NIC, control traffic rides
+ * the PCIe link alongside the payload: descriptor reads (request +
+ * completion TLPs), completion-queue writes, doorbells, and TLP
+ * headers on the data itself. The model sums wire bytes per link
+ * direction and bounds throughput by the most-loaded direction.
+ */
+#ifndef FLD_MODEL_PERF_MODEL_H
+#define FLD_MODEL_PERF_MODEL_H
+
+#include <cstdint>
+
+#include "pcie/tlp.h"
+
+namespace fld::model {
+
+struct PerfModelParams
+{
+    pcie::TlpParams tlp;
+    double pcie_gbps = 50.0;   ///< per-direction PCIe data rate
+    double eth_gbps = 25.0;    ///< Ethernet port rate
+    uint32_t wqe_batch = 8;    ///< WQEs fetched per ring read
+    uint32_t cqe_interval = 16;///< selective completion signalling
+    uint32_t db_batch = 8;     ///< doorbells coalesced over N packets
+    uint32_t rx_pkts_per_buffer = 16; ///< MPRQ recycle amortization
+};
+
+/** Ethernet line rate seen by a packet of @p frame_bytes (20 B
+ *  preamble+IFG overhead per frame). */
+double eth_goodput_gbps(double eth_gbps, uint32_t frame_bytes);
+
+/** PCIe wire bytes per packet in each direction for the echo path. */
+struct PcieCost
+{
+    double to_fld = 0;   ///< NIC -> FLD direction
+    double from_fld = 0; ///< FLD -> NIC direction
+};
+PcieCost echo_pcie_cost(const PerfModelParams& p, uint32_t frame_bytes);
+
+/**
+ * Expected FLD-E echo throughput (Gbps of frame bytes) for a given
+ * frame size: the PCIe bound in the worse direction, also capped by
+ * the Ethernet port rate.
+ */
+double fld_expected_gbps(const PerfModelParams& p, uint32_t frame_bytes);
+
+/** PCIe-only bound (no Ethernet cap), the "PCIe" lines of Fig. 7a. */
+double fld_pcie_bound_gbps(const PerfModelParams& p,
+                           uint32_t frame_bytes);
+
+/**
+ * Counterfactual bound for §4.2's rejected design: the accelerator's
+ * rings and data buffers live in *host memory* instead of behind the
+ * FLD BAR. Every packet then crosses the host PCIe link twice in each
+ * direction (NIC <-> host memory, host memory <-> accelerator), so
+ * the host link carries roughly double the data of the FLD design —
+ * and competes with every other device using it.
+ */
+double hostmem_accel_bound_gbps(const PerfModelParams& p,
+                                uint32_t frame_bytes);
+
+/**
+ * FLD-R (RDMA) goodput bound for the ZUC request/response pattern of
+ * Figure 8a: @p request_bytes of plaintext plus @p app_header_bytes
+ * application header per message, RoCE+transport headers per MTU
+ * segment on the wire, responses mirroring requests.
+ */
+double zuc_expected_gbps(const PerfModelParams& p,
+                         uint32_t request_bytes,
+                         uint32_t app_header_bytes, uint32_t rdma_mtu);
+
+} // namespace fld::model
+
+#endif // FLD_MODEL_PERF_MODEL_H

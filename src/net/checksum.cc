@@ -1,0 +1,55 @@
+#include "net/checksum.h"
+
+#include "util/bitops.h"
+
+namespace fld::net {
+
+uint32_t
+checksum_partial(const uint8_t* data, size_t len, uint32_t acc)
+{
+    size_t i = 0;
+    for (; i + 1 < len; i += 2)
+        acc += load_be16(data + i);
+    if (i < len)
+        acc += uint32_t(data[i]) << 8; // odd trailing byte, zero-padded
+    return acc;
+}
+
+uint16_t
+checksum_fold(uint32_t acc)
+{
+    while (acc >> 16)
+        acc = (acc & 0xffff) + (acc >> 16);
+    return uint16_t(~acc);
+}
+
+uint16_t
+internet_checksum(const uint8_t* data, size_t len)
+{
+    return checksum_fold(checksum_partial(data, len, 0));
+}
+
+uint16_t
+ipv4_header_checksum(const uint8_t* hdr, size_t ihl_bytes)
+{
+    return internet_checksum(hdr, ihl_bytes);
+}
+
+uint16_t
+l4_checksum(uint32_t src_ip, uint32_t dst_ip, uint8_t proto,
+            const uint8_t* l4, size_t l4_len)
+{
+    uint32_t acc = 0;
+    acc += src_ip >> 16;
+    acc += src_ip & 0xffff;
+    acc += dst_ip >> 16;
+    acc += dst_ip & 0xffff;
+    acc += proto;
+    acc += uint32_t(l4_len);
+    acc = checksum_partial(l4, l4_len, acc);
+    uint16_t c = checksum_fold(acc);
+    // Per RFC 768 a computed zero UDP checksum is transmitted as 0xffff.
+    return c == 0 ? 0xffff : c;
+}
+
+} // namespace fld::net

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Internet checksum (RFC 1071) and the IPv4/UDP/TCP applications of it.
+ * These are the checksums the NIC model's stateless offloads compute
+ * and validate.
+ */
+#ifndef FLD_NET_CHECKSUM_H
+#define FLD_NET_CHECKSUM_H
+
+#include <cstdint>
+#include <cstddef>
+
+namespace fld::net {
+
+/** One's-complement sum accumulator over a byte range. */
+uint32_t checksum_partial(const uint8_t* data, size_t len, uint32_t acc);
+
+/** Fold a partial accumulator into a final 16-bit checksum. */
+uint16_t checksum_fold(uint32_t acc);
+
+/** RFC 1071 checksum over a byte range. */
+uint16_t internet_checksum(const uint8_t* data, size_t len);
+
+/** IPv4 header checksum over @p ihl_bytes of header (checksum zeroed). */
+uint16_t ipv4_header_checksum(const uint8_t* hdr, size_t ihl_bytes);
+
+/**
+ * UDP/TCP checksum with the IPv4 pseudo-header.
+ * @p l4 points at the L4 header; @p l4_len covers header + payload.
+ * The checksum field inside the header must be zero.
+ */
+uint16_t l4_checksum(uint32_t src_ip, uint32_t dst_ip, uint8_t proto,
+                     const uint8_t* l4, size_t l4_len);
+
+} // namespace fld::net
+
+#endif // FLD_NET_CHECKSUM_H

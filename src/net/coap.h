@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal CoAP (RFC 7252) message codec.
+ *
+ * The IoT token-authentication accelerator (§7) extracts a JSON Web
+ * Token from CoAP-encoded messages. This codec implements the subset
+ * needed for that workload: the fixed header, token, Uri-Path options,
+ * and payload.
+ */
+#ifndef FLD_NET_COAP_H
+#define FLD_NET_COAP_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fld::net {
+
+enum class CoapType : uint8_t { Confirmable = 0, NonConfirmable = 1,
+                                Ack = 2, Reset = 3 };
+
+constexpr uint8_t kCoapCodePost = 0x02; // 0.02 POST
+constexpr uint8_t kCoapCodeContent = 0x45; // 2.05 Content
+constexpr uint16_t kCoapOptionUriPath = 11;
+
+/** A decoded CoAP message (subset). */
+struct CoapMessage
+{
+    CoapType type = CoapType::NonConfirmable;
+    uint8_t code = kCoapCodePost;
+    uint16_t message_id = 0;
+    std::vector<uint8_t> token;      ///< CoAP token (0-8 bytes)
+    std::vector<std::string> uri_path;
+    std::vector<uint8_t> payload;
+
+    /** Serialize to wire bytes. */
+    std::vector<uint8_t> encode() const;
+
+    /** Parse from wire bytes; nullopt on malformed input. */
+    static std::optional<CoapMessage> decode(const uint8_t* data,
+                                             size_t len);
+};
+
+} // namespace fld::net
+
+#endif // FLD_NET_COAP_H

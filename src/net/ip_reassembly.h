@@ -1,0 +1,108 @@
+/**
+ * @file
+ * IPv4 fragmentation and reassembly.
+ *
+ * The same reassembly engine backs both the FLD IP-defragmentation
+ * accelerator (§7) and the software (CPU baseline) defragmentation
+ * path of the §8.2.2 experiment.
+ */
+#ifndef FLD_NET_IP_REASSEMBLY_H
+#define FLD_NET_IP_REASSEMBLY_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/headers.h"
+#include "net/packet.h"
+
+namespace fld::net {
+
+/**
+ * Fragment an Ethernet/IPv4 frame so that no fragment's IP length
+ * exceeds @p mtu. Returns {pkt} unchanged when it already fits.
+ * Fragment payload sizes are multiples of 8 bytes as required.
+ */
+std::vector<Packet> ip_fragment(const Packet& pkt, size_t mtu);
+
+/** Statistics exposed by the reassembler. */
+struct ReassemblyStats
+{
+    uint64_t fragments_in = 0;
+    uint64_t packets_out = 0;
+    uint64_t timeouts = 0;
+    uint64_t overlaps = 0;
+    uint64_t invalid = 0;
+    size_t contexts_active = 0;
+};
+
+/**
+ * IPv4 reassembly engine keyed by (src, dst, proto, id).
+ *
+ * Fragments may arrive out of order. Overlapping ranges are accepted
+ * (first writer wins) and counted. Contexts are bounded; when
+ * @p max_contexts is exceeded the oldest context is evicted, modeling
+ * the limited reassembly memory of the FPGA accelerator.
+ */
+class IpReassembler
+{
+  public:
+    explicit IpReassembler(size_t max_contexts = 1024)
+        : max_contexts_(max_contexts)
+    {}
+
+    /**
+     * Feed one frame. Non-fragments are returned as-is. A fragment
+     * that completes its datagram returns the rebuilt frame (correct
+     * total_len/offset/checksum); otherwise nullopt.
+     */
+    std::optional<Packet> push(const Packet& pkt);
+
+    /** Drop contexts older than @p max_age given the current tick. */
+    void expire(uint64_t now_tick, uint64_t max_age);
+
+    const ReassemblyStats& stats() const { return stats_; }
+
+    /** Advance the logical clock used for eviction ordering. */
+    void tick(uint64_t now) { now_ = now; }
+
+  private:
+    struct Key
+    {
+        uint32_t src, dst;
+        uint16_t id;
+        uint8_t proto;
+        bool operator<(const Key& o) const
+        {
+            if (src != o.src)
+                return src < o.src;
+            if (dst != o.dst)
+                return dst < o.dst;
+            if (id != o.id)
+                return id < o.id;
+            return proto < o.proto;
+        }
+    };
+    struct Context
+    {
+        std::vector<uint8_t> payload; // reassembled IP payload bytes
+        std::vector<bool> present;    // byte-granularity coverage
+        size_t total_len = 0;         // set once the last fragment arrives
+        size_t received = 0;
+        std::vector<uint8_t> l2l3;    // Ethernet + IP header template
+        uint64_t created = 0;
+    };
+
+    std::optional<Packet> maybe_complete(const Key& key, Context& ctx);
+    void evict_oldest();
+
+    size_t max_contexts_;
+    std::map<Key, Context> contexts_;
+    ReassemblyStats stats_;
+    uint64_t now_ = 0;
+};
+
+} // namespace fld::net
+
+#endif // FLD_NET_IP_REASSEMBLY_H

@@ -1,0 +1,56 @@
+#include "net/jwt.h"
+
+#include <algorithm>
+
+#include "crypto/base64.h"
+#include "crypto/sha256.h"
+#include "util/strings.h"
+
+namespace fld::net {
+
+namespace {
+const char kHs256Header[] = R"({"alg":"HS256","typ":"JWT"})";
+} // namespace
+
+std::string
+jwt_sign_hs256(const std::string& claims_json, const std::string& key)
+{
+    std::string signing_input =
+        crypto::base64url_encode(std::string(kHs256Header)) + "." +
+        crypto::base64url_encode(claims_json);
+    auto mac = crypto::hmac_sha256(key, signing_input);
+    return signing_input + "." +
+           crypto::base64url_encode(mac.data(), mac.size());
+}
+
+JwtVerifyResult
+jwt_verify_hs256(const std::string& token, const std::string& key)
+{
+    JwtVerifyResult result;
+    auto parts = split(token, '.');
+    if (parts.size() != 3)
+        return result;
+
+    auto header = crypto::base64url_decode(parts[0]);
+    auto payload = crypto::base64url_decode(parts[1]);
+    auto sig = crypto::base64url_decode(parts[2]);
+    if (!header || !payload || !sig || sig->size() != 32)
+        return result;
+
+    std::string header_str(header->begin(), header->end());
+    if (header_str != kHs256Header)
+        return result;
+
+    std::string signing_input = parts[0] + "." + parts[1];
+    auto expect = crypto::hmac_sha256(key, signing_input);
+    crypto::Sha256Digest got;
+    std::copy(sig->begin(), sig->end(), got.begin());
+    if (!crypto::digest_equal(expect, got))
+        return result;
+
+    result.valid = true;
+    result.claims_json.assign(payload->begin(), payload->end());
+    return result;
+}
+
+} // namespace fld::net

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * JSON Web Token (RFC 7519) with HMAC-SHA256 (HS256) signatures.
+ *
+ * The IoT authentication offload validates the HMAC-SHA256 signature of
+ * a JWT carried in each CoAP message and drops packets with invalid
+ * signatures (§7). Only HS256 compact serialization is supported;
+ * claims are treated as opaque payload.
+ */
+#ifndef FLD_NET_JWT_H
+#define FLD_NET_JWT_H
+
+#include <optional>
+#include <string>
+
+namespace fld::net {
+
+/** Create a compact-serialized HS256 JWT over @p claims_json. */
+std::string jwt_sign_hs256(const std::string& claims_json,
+                           const std::string& key);
+
+/** Result of verifying a token. */
+struct JwtVerifyResult
+{
+    bool valid = false;
+    std::string claims_json; ///< decoded payload when valid
+};
+
+/**
+ * Verify a compact HS256 JWT. Checks structure, the fixed HS256
+ * header, and the HMAC-SHA256 signature (constant-time comparison).
+ */
+JwtVerifyResult jwt_verify_hs256(const std::string& token,
+                                 const std::string& key);
+
+} // namespace fld::net
+
+#endif // FLD_NET_JWT_H

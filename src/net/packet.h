@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Packet representation used across the simulated testbed.
+ *
+ * Packets carry real bytes: the accelerators perform actual
+ * cryptography and reassembly on payloads, so the simulation is
+ * functionally faithful, not just timing-faithful.
+ */
+#ifndef FLD_NET_PACKET_H
+#define FLD_NET_PACKET_H
+
+#include <cstdint>
+#include <vector>
+
+namespace fld::net {
+
+/** Per-packet sideband metadata carried through NIC/FLD pipelines. */
+struct PacketMeta
+{
+    uint32_t flow_tag = 0;    ///< NIC match-action tag (tenant/context ID)
+    uint16_t queue_id = 0;    ///< destination/origin queue
+    uint32_t rss_hash = 0;    ///< receive-side-scaling hash, if computed
+    bool l3_csum_ok = false;  ///< NIC checksum-offload verdicts
+    bool l4_csum_ok = false;
+    bool tunneled = false;    ///< arrived inside a (decapsulated) tunnel
+    uint32_t vni = 0;         ///< VXLAN network id when tunneled
+    uint32_t next_table = 0;  ///< FLD-E: match-action table to resume at
+    uint64_t client_cookie = 0; ///< opaque end-to-end correlation id
+};
+
+/** A network packet: raw bytes plus simulation metadata. */
+struct Packet
+{
+    std::vector<uint8_t> data;
+    PacketMeta meta;
+
+    Packet() = default;
+    explicit Packet(std::vector<uint8_t> bytes) : data(std::move(bytes)) {}
+
+    size_t size() const { return data.size(); }
+    uint8_t* bytes() { return data.data(); }
+    const uint8_t* bytes() const { return data.data(); }
+};
+
+} // namespace fld::net
+
+#endif // FLD_NET_PACKET_H

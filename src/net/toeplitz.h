@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Toeplitz hash used by receive-side scaling (RSS).
+ *
+ * The NIC model hashes the IPv4 5-tuple with the standard Microsoft
+ * RSS key to select a receive queue / host core. The defragmentation
+ * experiment (§8.2.2) hinges on this hash being unavailable for IP
+ * fragments, which collapses traffic onto a single core.
+ */
+#ifndef FLD_NET_TOEPLITZ_H
+#define FLD_NET_TOEPLITZ_H
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace fld::net {
+
+constexpr size_t kRssKeyLen = 40;
+using RssKey = std::array<uint8_t, kRssKeyLen>;
+
+/** The de-facto standard Microsoft RSS hash key. */
+const RssKey& default_rss_key();
+
+/** Toeplitz hash over an arbitrary input byte string. */
+uint32_t toeplitz_hash(const RssKey& key, const uint8_t* input,
+                       size_t len);
+
+/** Toeplitz over the IPv4 4-tuple (src, dst, sport, dport). */
+uint32_t toeplitz_ipv4(const RssKey& key, uint32_t src_ip, uint32_t dst_ip,
+                       uint16_t sport, uint16_t dport);
+
+} // namespace fld::net
+
+#endif // FLD_NET_TOEPLITZ_H

@@ -1,0 +1,146 @@
+#include "nic/descriptors.h"
+
+#include <cstring>
+
+#include "util/bitops.h"
+
+namespace fld::nic {
+
+void
+Wqe::encode(uint8_t out[kWqeStride]) const
+{
+    std::memset(out, 0, kWqeStride);
+    out[0] = uint8_t(opcode);
+    out[1] = signaled ? 1 : 0;
+    store_le16(out + 2, wqe_index);
+    store_le32(out + 4, qpn);
+    store_le32(out + 8, flow_tag);
+    store_le32(out + 12, next_table);
+    store_le64(out + 16, addr);
+    store_le32(out + 24, byte_count);
+    store_le32(out + 28, msg_id);
+}
+
+Wqe
+Wqe::decode(const uint8_t in[kWqeStride])
+{
+    Wqe w;
+    w.opcode = WqeOpcode(in[0]);
+    w.signaled = in[1] & 1;
+    w.wqe_index = load_le16(in + 2);
+    w.qpn = load_le32(in + 4);
+    w.flow_tag = load_le32(in + 8);
+    w.next_table = load_le32(in + 12);
+    w.addr = load_le64(in + 16);
+    w.byte_count = load_le32(in + 24);
+    w.msg_id = load_le32(in + 28);
+    return w;
+}
+
+void
+RxDesc::encode(uint8_t out[kRxDescStride]) const
+{
+    std::memset(out, 0, kRxDescStride);
+    store_le64(out, addr);
+    store_le32(out + 8, byte_count);
+    store_le16(out + 12, stride_count);
+    out[14] = uint8_t(stride_shift);
+}
+
+RxDesc
+RxDesc::decode(const uint8_t in[kRxDescStride])
+{
+    RxDesc d;
+    d.addr = load_le64(in);
+    d.byte_count = load_le32(in + 8);
+    d.stride_count = load_le16(in + 12);
+    d.stride_shift = in[14];
+    return d;
+}
+
+void
+Cqe::encode(uint8_t out[kCqeStride]) const
+{
+    std::memset(out, 0, kCqeStride);
+    out[0] = uint8_t(opcode);
+    out[1] = flags;
+    store_le16(out + 2, wqe_counter);
+    store_le32(out + 4, qpn);
+    store_le32(out + 8, byte_count);
+    store_le32(out + 12, rss_hash);
+    store_le32(out + 16, flow_tag);
+    store_le16(out + 20, stride_index);
+    store_le16(out + 22, rq_wqe_index);
+    store_le32(out + 24, msg_id);
+    store_le32(out + 28, msg_offset);
+    out[63] = owner; // last byte so a full-CQE write commits ownership
+}
+
+Cqe
+Cqe::decode(const uint8_t in[kCqeStride])
+{
+    Cqe c;
+    c.opcode = CqeOpcode(in[0]);
+    c.flags = in[1];
+    c.wqe_counter = load_le16(in + 2);
+    c.qpn = load_le32(in + 4);
+    c.byte_count = load_le32(in + 8);
+    c.rss_hash = load_le32(in + 12);
+    c.flow_tag = load_le32(in + 16);
+    c.stride_index = load_le16(in + 20);
+    c.rq_wqe_index = load_le16(in + 22);
+    c.msg_id = load_le32(in + 24);
+    c.msg_offset = load_le32(in + 28);
+    c.owner = in[63];
+    return c;
+}
+
+void
+MiniCqe::encode(uint8_t out[kMiniCqeStride]) const
+{
+    std::memset(out, 0, kMiniCqeStride);
+    store_le32(out, byte_count);
+    store_le16(out + 4, stride_index);
+    store_le16(out + 6, rq_wqe_index);
+    out[8] = flags;
+    store_le32(out + 9, flow_tag);
+}
+
+MiniCqe
+MiniCqe::decode(const uint8_t in[kMiniCqeStride])
+{
+    MiniCqe m;
+    m.byte_count = load_le32(in);
+    m.stride_index = load_le16(in + 4);
+    m.rq_wqe_index = load_le16(in + 6);
+    m.flags = in[8];
+    m.flow_tag = load_le32(in + 9);
+    return m;
+}
+
+void
+RdmaHeader::encode(uint8_t out[kRdmaHeaderLen]) const
+{
+    out[0] = uint8_t(opcode);
+    out[1] = flags;
+    store_le16(out + 2, 0);
+    store_le32(out + 4, dst_qpn);
+    store_le32(out + 8, psn);
+    store_le32(out + 12, msg_len);
+    store_le32(out + 16, msg_id);
+}
+
+RdmaHeader
+RdmaHeader::decode(const uint8_t in[kRdmaHeaderLen])
+{
+    RdmaHeader h;
+    h.opcode = RdmaOpcode(in[0]);
+    h.flags = in[1];
+    h.dst_qpn = load_le32(in + 4);
+    h.psn = load_le32(in + 8);
+    h.msg_len = load_le32(in + 12);
+    h.msg_id = load_le32(in + 16);
+    return h;
+}
+
+} // namespace fld::nic

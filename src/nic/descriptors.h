@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Vendor (ConnectX-like) descriptor wire formats.
+ *
+ * These are the *uncompressed* formats the NIC reads/writes over PCIe.
+ * The CPU driver stores them verbatim in host memory (Table 2b,
+ * "Software" column); FLD synthesizes them on-the-fly from compressed
+ * internal state (§5.2) — which is exactly why both sides must agree
+ * on a concrete byte layout.
+ */
+#ifndef FLD_NIC_DESCRIPTORS_H
+#define FLD_NIC_DESCRIPTORS_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "nic/config.h"
+
+namespace fld::nic {
+
+/** WQE opcodes. */
+enum class WqeOpcode : uint8_t {
+    Nop = 0,
+    EthSend = 1,  ///< transmit an Ethernet frame
+    RdmaSend = 2, ///< transmit an RDMA SEND message (may span packets)
+};
+
+/** Transmit work-queue entry (64 B stride on the wire). */
+struct Wqe
+{
+    WqeOpcode opcode = WqeOpcode::Nop;
+    bool signaled = false;     ///< request a CQE on completion
+    uint16_t wqe_index = 0;    ///< producer's ring index (mod 2^16)
+    uint32_t qpn = 0;          ///< owning SQ/QP number
+    uint32_t flow_tag = 0;     ///< egress metadata tag (context ID)
+    uint32_t next_table = 0;   ///< FLD-E: resume match-action table
+    uint64_t addr = 0;         ///< payload fabric address
+    uint32_t byte_count = 0;   ///< payload length
+    uint32_t msg_id = 0;       ///< RDMA: message correlation id
+
+    void encode(uint8_t out[kWqeStride]) const;
+    static Wqe decode(const uint8_t in[kWqeStride]);
+};
+
+/** Receive descriptor (16 B): one MPRQ buffer of N strides. */
+struct RxDesc
+{
+    uint64_t addr = 0;         ///< buffer base fabric address
+    uint32_t byte_count = 0;   ///< total buffer bytes
+    uint16_t stride_count = 1; ///< MPRQ strides in this buffer
+    uint16_t stride_shift = 11;///< log2(stride size); 2 KiB default
+
+    void encode(uint8_t out[kRxDescStride]) const;
+    static RxDesc decode(const uint8_t in[kRxDescStride]);
+};
+
+/** CQE opcodes. */
+enum class CqeOpcode : uint8_t {
+    TxOk = 0,
+    Rx = 1,
+    Error = 2,
+};
+
+/** CQE flags. */
+constexpr uint8_t kCqeL3Ok = 1 << 0;
+constexpr uint8_t kCqeL4Ok = 1 << 1;
+constexpr uint8_t kCqeIpFrag = 1 << 2;
+constexpr uint8_t kCqeTunneled = 1 << 3;
+constexpr uint8_t kCqeRdmaLast = 1 << 4; ///< last packet of a message
+
+/** Completion queue entry (64 B stride on the wire). */
+struct Cqe
+{
+    CqeOpcode opcode = CqeOpcode::TxOk;
+    uint8_t flags = 0;
+    uint16_t wqe_counter = 0;  ///< completed WQE index / stride slot
+    uint32_t qpn = 0;
+    uint32_t byte_count = 0;
+    uint32_t rss_hash = 0;
+    uint32_t flow_tag = 0;
+    uint16_t stride_index = 0; ///< MPRQ stride where data landed
+    uint16_t rq_wqe_index = 0; ///< which MPRQ buffer
+    uint32_t msg_id = 0;       ///< RDMA message id
+    uint32_t msg_offset = 0;   ///< byte offset of this packet in message
+    uint8_t owner = 0;         ///< phase/ownership bit for polling
+
+    void encode(uint8_t out[kCqeStride]) const;
+    static Cqe decode(const uint8_t in[kCqeStride]);
+};
+
+/**
+ * Mini-CQE (16 B): a compressed receive completion riding behind a
+ * full "title" CQE in the same PCIe write. Fields not present here
+ * (qpn, opcode, rss hash) are inherited from the title entry. The
+ * title CQE's mini_count byte says how many follow.
+ */
+constexpr uint32_t kMiniCqeStride = 16;
+constexpr size_t kCqeMiniCountOffset = 61;
+constexpr uint32_t kMaxMiniCqes = 7;
+
+struct MiniCqe
+{
+    uint32_t byte_count = 0;
+    uint16_t stride_index = 0;
+    uint16_t rq_wqe_index = 0;
+    uint8_t flags = 0;
+    uint32_t flow_tag = 0;
+
+    void encode(uint8_t out[kMiniCqeStride]) const;
+    static MiniCqe decode(const uint8_t in[kMiniCqeStride]);
+};
+
+/** RoCE-like transport header carried after the Ethernet header. */
+enum class RdmaOpcode : uint8_t {
+    SendOnly = 0,
+    SendFirst = 1,
+    SendMiddle = 2,
+    SendLast = 3,
+    Ack = 4,
+};
+
+constexpr uint16_t kEtherTypeRoce = 0x8915;
+constexpr uint32_t kRdmaHeaderLen = 20;
+
+struct RdmaHeader
+{
+    RdmaOpcode opcode = RdmaOpcode::SendOnly;
+    uint8_t flags = 0;
+    uint32_t dst_qpn = 0; ///< 24-bit in real BTH; 32 here
+    uint32_t psn = 0;
+    uint32_t msg_len = 0; ///< total message bytes (First/Only packets)
+    uint32_t msg_id = 0;  ///< end-to-end message correlation id
+
+    void encode(uint8_t out[kRdmaHeaderLen]) const;
+    static RdmaHeader decode(const uint8_t in[kRdmaHeaderLen]);
+};
+
+} // namespace fld::nic
+
+#endif // FLD_NIC_DESCRIPTORS_H

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Match-action flow tables (the NIC's embedded-switch steering engine).
+ *
+ * Models the ConnectX eSwitch / rte_flow pipeline of §2.3: numbered
+ * tables hold prioritized rules; each rule matches packet fields and
+ * applies an action list (tag, encap/decap, count, forward, goto).
+ * FLD-E extends the action set with SendToAccel + next-table resume
+ * (§5.3), which is exactly how inline acceleration re-enters the
+ * pipeline mid-way.
+ */
+#ifndef FLD_NIC_FLOW_TABLE_H
+#define FLD_NIC_FLOW_TABLE_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/headers.h"
+#include "net/packet.h"
+
+namespace fld::nic {
+
+/** Logical switch port ids. Convention: 0 is the wire uplink. */
+using VportId = uint16_t;
+constexpr VportId kUplinkVport = 0;
+
+/** Fields a rule may match on; unset fields are wildcards. */
+struct FlowMatch
+{
+    std::optional<VportId> in_vport;
+    std::optional<uint16_t> ethertype;
+    std::optional<uint8_t> ip_proto;
+    std::optional<uint32_t> src_ip;
+    std::optional<uint32_t> dst_ip;
+    std::optional<uint16_t> sport;
+    std::optional<uint16_t> dport;
+    std::optional<bool> is_fragment;
+    std::optional<uint32_t> vni;     ///< matches decapsulated VXLAN id
+    std::optional<uint32_t> flow_tag;///< matches a previously set tag
+};
+
+/** Action kinds (applied in rule order until a terminal one). */
+enum class ActionType : uint8_t {
+    SetTag,       ///< tag packet with context/tenant id
+    Count,        ///< bump a named counter
+    VxlanDecap,   ///< strip outer Eth/IP/UDP/VXLAN
+    VxlanEncap,   ///< add outer headers (params in action)
+    Meter,        ///< pass through a named token-bucket rate limiter
+    Goto,         ///< continue matching at another table
+    ForwardVport, ///< terminal: deliver to a vport's RX pipeline
+    ForwardTir,   ///< terminal: deliver to an RSS group (TIR)
+    ForwardQueue, ///< terminal: deliver to a specific RQ
+    SendToAccel,  ///< terminal: FLD-E acceleration action
+    Drop,         ///< terminal
+};
+
+struct Action
+{
+    ActionType type;
+    uint32_t arg0 = 0; ///< tag / table / vport / tir / rqn / meter id
+    uint32_t arg1 = 0; ///< SendToAccel: next_table; VxlanEncap: vni
+    uint32_t arg2 = 0; ///< VxlanEncap: outer src ip
+    uint32_t arg3 = 0; ///< VxlanEncap: outer dst ip
+};
+
+/** Convenience constructors for common actions. */
+Action set_tag(uint32_t tag);
+Action count_action(uint32_t counter_id);
+Action vxlan_decap();
+Action vxlan_encap(uint32_t vni, uint32_t src_ip, uint32_t dst_ip);
+Action meter(uint32_t meter_id);
+Action goto_table(uint32_t table);
+Action fwd_vport(VportId vport);
+Action fwd_tir(uint32_t tir);
+Action fwd_queue(uint32_t rqn);
+Action send_to_accel(uint32_t rqn, uint32_t next_table);
+Action drop_action();
+
+/** A rule installed in a table. */
+struct FlowRule
+{
+    uint64_t id = 0;
+    int priority = 0; ///< higher wins
+    FlowMatch match;
+    std::vector<Action> actions;
+    uint64_t hits = 0;
+    uint64_t hit_bytes = 0;
+};
+
+/** Pre-extracted packet fields the matcher tests against. */
+struct FlowFields
+{
+    VportId in_vport = kUplinkVport;
+    uint16_t ethertype = 0;
+    uint8_t ip_proto = 0;
+    uint32_t src_ip = 0;
+    uint32_t dst_ip = 0;
+    uint16_t sport = 0;
+    uint16_t dport = 0;
+    bool is_fragment = false;
+    bool has_l4 = false;
+    uint32_t vni = 0;
+    bool tunneled = false;
+    uint32_t flow_tag = 0;
+
+    /** Extract fields from a packet entering at @p vport. */
+    static FlowFields of(const net::Packet& pkt, VportId vport);
+};
+
+/** A set of numbered tables with prioritized rules. */
+class FlowTables
+{
+  public:
+    /** Install a rule; returns its id. */
+    uint64_t add_rule(uint32_t table, int priority, FlowMatch match,
+                      std::vector<Action> actions);
+
+    /** Remove by id; returns false when absent. */
+    bool remove_rule(uint64_t id);
+
+    /** Highest-priority matching rule in @p table, or null. */
+    FlowRule* lookup(uint32_t table, const FlowFields& fields);
+
+    /** Rule hit counters (Count actions accumulate here too). */
+    uint64_t counter(uint32_t counter_id) const;
+    void bump_counter(uint32_t counter_id, uint64_t bytes);
+
+    size_t rule_count() const;
+
+  private:
+    static bool matches(const FlowMatch& m, const FlowFields& f);
+
+    std::map<uint32_t, std::vector<FlowRule>> tables_;
+    std::map<uint32_t, uint64_t> counters_;
+    uint64_t next_id_ = 1;
+};
+
+} // namespace fld::nic
+
+#endif // FLD_NIC_FLOW_TABLE_H

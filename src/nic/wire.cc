@@ -1,0 +1,32 @@
+#include "nic/wire.h"
+
+#include <algorithm>
+
+namespace fld::nic {
+
+EthernetLink::EthernetLink(sim::EventQueue& eq, NetPort& a, NetPort& b,
+                           double gbps, sim::TimePs latency)
+    : eq_(eq), gbps_(gbps), latency_(latency)
+{
+    connect(a, b, busy_a_to_b_, meters_[0]);
+    connect(b, a, busy_b_to_a_, meters_[1]);
+}
+
+void
+EthernetLink::connect(NetPort& src, NetPort& dst, sim::TimePs& busy_until,
+                      sim::RateMeter& meter)
+{
+    src.set_tx_hook([this, &dst, &busy_until,
+                     &meter](net::Packet&& pkt) {
+        uint64_t wire_bytes = pkt.size() + kEthWireOverhead;
+        sim::TimePs start = std::max(eq_.now(), busy_until);
+        busy_until = start + sim::serialize_time(wire_bytes, gbps_);
+        meter.record(busy_until, pkt.size());
+        eq_.schedule_at(busy_until + latency_,
+                        [&dst, pkt = std::move(pkt)]() mutable {
+                            dst.deliver(std::move(pkt));
+                        });
+    });
+}
+
+} // namespace fld::nic

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ethernet wire model: ports and point-to-point links.
+ *
+ * A link serializes frames at the configured rate (plus the 20 B
+ * preamble/IFG per-frame overhead the paper's packet-rate formula
+ * uses) and delivers them after a propagation delay. The remote
+ * experiments' 25 Gbps ceiling comes from here.
+ */
+#ifndef FLD_NIC_WIRE_H
+#define FLD_NIC_WIRE_H
+
+#include <functional>
+#include <string>
+
+#include "net/packet.h"
+#include "nic/config.h"
+#include "sim/event_queue.h"
+#include "sim/stats.h"
+
+namespace fld::nic {
+
+/** One side of a link. The owner (a NIC) sends and receives frames. */
+class NetPort
+{
+  public:
+    using RxHandler = std::function<void(net::Packet&&)>;
+
+    explicit NetPort(std::string name) : name_(std::move(name)) {}
+
+    /** Install the frame-arrival callback (owned by the NIC). */
+    void set_rx_handler(RxHandler fn) { rx_ = std::move(fn); }
+
+    /** Deliver a frame into the owner. */
+    void deliver(net::Packet&& pkt)
+    {
+        if (rx_)
+            rx_(std::move(pkt));
+    }
+
+    /** Hook installed by the link when the port gets connected. */
+    using TxHook = std::function<void(net::Packet&&)>;
+    void set_tx_hook(TxHook fn) { tx_ = std::move(fn); }
+
+    /** Send a frame toward the peer (drops when unconnected). */
+    void transmit(net::Packet&& pkt)
+    {
+        if (tx_)
+            tx_(std::move(pkt));
+    }
+
+    const std::string& name() const { return name_; }
+
+  private:
+    std::string name_;
+    RxHandler rx_;
+    TxHook tx_;
+};
+
+/** Full-duplex point-to-point Ethernet link. */
+class EthernetLink
+{
+  public:
+    EthernetLink(sim::EventQueue& eq, NetPort& a, NetPort& b,
+                 double gbps, sim::TimePs latency);
+
+    double gbps() const { return gbps_; }
+
+    /** Frames/bytes carried per direction (a->b = 0, b->a = 1). */
+    const sim::RateMeter& meter(int direction) const
+    {
+        return meters_[direction];
+    }
+
+  private:
+    void connect(NetPort& src, NetPort& dst, sim::TimePs& busy_until,
+                 sim::RateMeter& meter);
+
+    sim::EventQueue& eq_;
+    double gbps_;
+    sim::TimePs latency_;
+    sim::TimePs busy_a_to_b_ = 0;
+    sim::TimePs busy_b_to_a_ = 0;
+    sim::RateMeter meters_[2];
+};
+
+} // namespace fld::nic
+
+#endif // FLD_NIC_WIRE_H

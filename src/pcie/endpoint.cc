@@ -1,0 +1,50 @@
+#include "pcie/endpoint.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace fld::pcie {
+
+void
+MemoryEndpoint::ensure(uint64_t end)
+{
+    if (end > capacity_)
+        fatal("%s: access beyond capacity (%llu > %zu)", name_.c_str(),
+              (unsigned long long)end, capacity_);
+    if (end > mem_.size())
+        mem_.resize(end, 0);
+}
+
+void
+MemoryEndpoint::bar_write(uint64_t addr, const uint8_t* data, size_t len)
+{
+    ensure(addr + len);
+    std::memcpy(mem_.data() + addr, data, len);
+    for (const auto& w : watches_) {
+        if (addr < w.base + w.size && w.base < addr + len)
+            w.fn(addr, len);
+    }
+}
+
+void
+MemoryEndpoint::add_watch(uint64_t base, size_t size, WriteWatch fn)
+{
+    watches_.push_back({base, size, std::move(fn)});
+}
+
+void
+MemoryEndpoint::bar_read(uint64_t addr, uint8_t* out, size_t len)
+{
+    ensure(addr + len);
+    std::memcpy(out, mem_.data() + addr, len);
+}
+
+uint8_t*
+MemoryEndpoint::raw(uint64_t addr, size_t len)
+{
+    ensure(addr + len);
+    return mem_.data() + addr;
+}
+
+} // namespace fld::pcie

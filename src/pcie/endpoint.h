@@ -1,0 +1,91 @@
+/**
+ * @file
+ * PCIe endpoint interface and a plain memory endpoint.
+ *
+ * Endpoints expose BAR address space. Functional semantics are
+ * synchronous (the fabric calls bar_read/bar_write once timing says
+ * the TLPs have arrived); all timing lives in the fabric.
+ */
+#ifndef FLD_PCIE_ENDPOINT_H
+#define FLD_PCIE_ENDPOINT_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fld::pcie {
+
+/** A device mapped into the fabric's address space. */
+class PcieEndpoint
+{
+  public:
+    virtual ~PcieEndpoint() = default;
+
+    /** Handle a memory write of @p len bytes at BAR-relative @p addr. */
+    virtual void bar_write(uint64_t addr, const uint8_t* data,
+                           size_t len) = 0;
+
+    /** Handle a memory read; fill @p out with @p len bytes. */
+    virtual void bar_read(uint64_t addr, uint8_t* out, size_t len) = 0;
+
+    /** Human-readable name for diagnostics. */
+    virtual std::string ep_name() const { return "endpoint"; }
+
+    /**
+     * Internal processing delay (ps) before a read completion can be
+     * produced. FLD's on-the-fly descriptor generation, for example,
+     * takes a few FPGA cycles.
+     */
+    virtual uint64_t read_processing_ps() const { return 0; }
+};
+
+/**
+ * Flat RAM endpoint (host DRAM in the model). Grows on demand up to
+ * the configured capacity; reads of untouched memory return zeros.
+ */
+class MemoryEndpoint : public PcieEndpoint
+{
+  public:
+    explicit MemoryEndpoint(std::string name, size_t capacity)
+        : name_(std::move(name)), capacity_(capacity)
+    {}
+
+    void bar_write(uint64_t addr, const uint8_t* data,
+                   size_t len) override;
+    void bar_read(uint64_t addr, uint8_t* out, size_t len) override;
+    std::string ep_name() const override { return name_; }
+
+    size_t capacity() const { return capacity_; }
+
+    /** Direct (zero-time) access for software models running "on" it. */
+    uint8_t* raw(uint64_t addr, size_t len);
+
+    /**
+     * Watch a range for DMA writes. Models a polling consumer (or
+     * DDIO-delivered completion) without simulating each poll read:
+     * the callback fires after the write lands. CPU cost of handling
+     * it is accounted by the host model, not here.
+     */
+    using WriteWatch = std::function<void(uint64_t addr, size_t len)>;
+    void add_watch(uint64_t base, size_t size, WriteWatch fn);
+
+  private:
+    void ensure(uint64_t end);
+
+    struct Watch
+    {
+        uint64_t base;
+        size_t size;
+        WriteWatch fn;
+    };
+
+    std::string name_;
+    size_t capacity_;
+    std::vector<uint8_t> mem_;
+    std::vector<Watch> watches_;
+};
+
+} // namespace fld::pcie
+
+#endif // FLD_PCIE_ENDPOINT_H

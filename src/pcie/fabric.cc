@@ -1,0 +1,155 @@
+#include "pcie/fabric.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fld::pcie {
+
+PortId
+PcieFabric::add_port(std::string name, double gbps, sim::TimePs latency)
+{
+    auto port = std::make_unique<Port>();
+    port->name = std::move(name);
+    port->gbps = gbps;
+    port->latency = latency;
+    ports_.push_back(std::move(port));
+    return PortId(ports_.size() - 1);
+}
+
+void
+PcieFabric::attach(PortId port, PcieEndpoint* ep, uint64_t base,
+                   uint64_t size)
+{
+    if (port >= ports_.size())
+        fatal("attach: bad port %u", port);
+    for (const auto& m : map_) {
+        if (base < m.base + m.size && m.base < base + size)
+            fatal("attach: overlapping BAR ranges");
+    }
+    map_.push_back({base, size, port, ep});
+}
+
+const PcieFabric::Mapping&
+PcieFabric::resolve(uint64_t addr) const
+{
+    for (const auto& m : map_) {
+        if (addr >= m.base && addr < m.base + m.size)
+            return m;
+    }
+    panic("PCIe fabric: no endpoint at address 0x%llx",
+          (unsigned long long)addr);
+}
+
+sim::TimePs
+PcieFabric::serialize(sim::TimePs earliest, sim::TimePs& busy_until,
+                      double gbps, uint64_t wire_bytes)
+{
+    sim::TimePs start = std::max(earliest, busy_until);
+    busy_until = start + sim::serialize_time(wire_bytes, gbps);
+    return busy_until;
+}
+
+void
+PcieFabric::write(PortId from, uint64_t addr, std::vector<uint8_t> data,
+                  OnWriteDone done)
+{
+    const Mapping& m = resolve(addr);
+    Port& src = *ports_[from];
+    Port& dst = *ports_[m.port];
+
+    uint64_t wire = tlp_.write_wire_bytes(data.size());
+    src.stats.egress_bytes += wire;
+    src.stats.writes++;
+    dst.stats.ingress_bytes += wire;
+
+    sim::TimePs now = eq_.now();
+    // Same-port traffic (e.g. NIC's integrated paths) still pays
+    // serialization once.
+    sim::TimePs sent = serialize(now, src.egress_busy_until, src.gbps,
+                                 wire);
+    sim::TimePs at_switch = sent + src.latency;
+    sim::TimePs delivered;
+    if (&src == &dst) {
+        delivered = at_switch;
+    } else {
+        delivered = serialize(at_switch, dst.ingress_busy_until,
+                              dst.gbps, wire) + dst.latency;
+    }
+
+    uint64_t bar_off = addr - m.base;
+    PcieEndpoint* ep = m.ep;
+    eq_.schedule_at(delivered,
+                    [ep, bar_off, data = std::move(data),
+                     done = std::move(done)]() mutable {
+                        ep->bar_write(bar_off, data.data(), data.size());
+                        if (done)
+                            done();
+                    });
+}
+
+void
+PcieFabric::read(PortId from, uint64_t addr, size_t len, OnReadData done)
+{
+    const Mapping& m = resolve(addr);
+    Port& src = *ports_[from];
+    Port& dst = *ports_[m.port];
+
+    uint64_t req_wire = tlp_.read_req_wire_bytes(len);
+    uint64_t cpl_wire = tlp_.read_cpl_wire_bytes(len);
+    src.stats.egress_bytes += req_wire;
+    src.stats.ingress_bytes += cpl_wire;
+    src.stats.reads++;
+    dst.stats.ingress_bytes += req_wire;
+    dst.stats.egress_bytes += cpl_wire;
+
+    sim::TimePs now = eq_.now();
+    // Request: src egress -> dst ingress.
+    sim::TimePs sent = serialize(now, src.egress_busy_until, src.gbps,
+                                 req_wire);
+    sim::TimePs at_dst;
+    if (&src == &dst) {
+        at_dst = sent + src.latency;
+    } else {
+        at_dst = serialize(sent + src.latency, dst.ingress_busy_until,
+                           dst.gbps, req_wire) + dst.latency;
+    }
+
+    uint64_t bar_off = addr - m.base;
+    PcieEndpoint* ep = m.ep;
+    Port* srcp = &src;
+    Port* dstp = &dst;
+    eq_.schedule_at(at_dst, [this, ep, bar_off, len, srcp, dstp,
+                             done = std::move(done)]() mutable {
+        // Functional read happens once the request arrives, after the
+        // endpoint's internal processing delay.
+        sim::TimePs ready = eq_.now() + ep->read_processing_ps();
+        eq_.schedule_at(ready, [this, ep, bar_off, len, srcp, dstp,
+                                done = std::move(done)]() mutable {
+            std::vector<uint8_t> data(len);
+            ep->bar_read(bar_off, data.data(), len);
+
+            uint64_t cpl_wire = tlp_.read_cpl_wire_bytes(len);
+            // Completion: dst egress -> src ingress.
+            sim::TimePs sent_cpl =
+                serialize(eq_.now(), dstp->egress_busy_until, dstp->gbps,
+                          cpl_wire);
+            sim::TimePs delivered;
+            if (srcp == dstp) {
+                delivered = sent_cpl + dstp->latency;
+            } else {
+                delivered = serialize(sent_cpl + dstp->latency,
+                                      srcp->ingress_busy_until,
+                                      srcp->gbps, cpl_wire) +
+                            srcp->latency;
+            }
+            eq_.schedule_at(delivered,
+                            [data = std::move(data),
+                             done = std::move(done)]() mutable {
+                                done(std::move(data));
+                            });
+        });
+    });
+}
+
+} // namespace fld::pcie

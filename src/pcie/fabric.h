@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Event-driven PCIe fabric: ports, switch routing by BAR ranges,
+ * per-direction link serialization, and split-completion reads.
+ *
+ * Topology model: every port connects to a central switch (the
+ * Innova-2 NIC embeds one). A transaction from port A to port B
+ * serializes on A's egress link, crosses the switch (propagation
+ * latency), then serializes on B's ingress link. Both serializers are
+ * independent resources, so bidirectional traffic and multi-initiator
+ * contention behave naturally.
+ */
+#ifndef FLD_PCIE_FABRIC_H
+#define FLD_PCIE_FABRIC_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pcie/endpoint.h"
+#include "pcie/tlp.h"
+#include "sim/event_queue.h"
+
+namespace fld::pcie {
+
+using PortId = uint32_t;
+constexpr PortId kInvalidPort = ~0u;
+
+/** Per-port wire-byte counters (for utilization reporting). */
+struct PortStats
+{
+    uint64_t egress_bytes = 0;  ///< device -> switch
+    uint64_t ingress_bytes = 0; ///< switch -> device
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+};
+
+class PcieFabric
+{
+  public:
+    using OnWriteDone = std::function<void()>;
+    using OnReadData = std::function<void(std::vector<uint8_t>)>;
+
+    PcieFabric(sim::EventQueue& eq, TlpParams tlp = {})
+        : eq_(eq), tlp_(tlp)
+    {}
+
+    /**
+     * Create a port with a link of @p gbps per direction and one-way
+     * propagation @p latency to the switch.
+     */
+    PortId add_port(std::string name, double gbps, sim::TimePs latency);
+
+    /**
+     * Map @p ep at fabric address range [base, base+size) reachable
+     * through @p port. Ranges must not overlap.
+     */
+    void attach(PortId port, PcieEndpoint* ep, uint64_t base,
+                uint64_t size);
+
+    /**
+     * Posted write from @p from to fabric address @p addr. The
+     * optional callback fires when the data has been delivered into
+     * the target endpoint (writes are posted: the initiator does not
+     * wait, but callers may want delivery ordering hooks).
+     */
+    void write(PortId from, uint64_t addr, std::vector<uint8_t> data,
+               OnWriteDone done = {});
+
+    /** Split-completion read of @p len bytes at @p addr. */
+    void read(PortId from, uint64_t addr, size_t len, OnReadData done);
+
+    const TlpParams& tlp() const { return tlp_; }
+    const PortStats& stats(PortId port) const
+    {
+        return ports_[port]->stats;
+    }
+    sim::EventQueue& event_queue() { return eq_; }
+
+  private:
+    struct Port
+    {
+        std::string name;
+        double gbps;
+        sim::TimePs latency;
+        sim::TimePs egress_busy_until = 0;
+        sim::TimePs ingress_busy_until = 0;
+        PortStats stats;
+    };
+    struct Mapping
+    {
+        uint64_t base;
+        uint64_t size;
+        PortId port;
+        PcieEndpoint* ep;
+    };
+
+    /**
+     * Serialize @p wire_bytes on a direction serializer; returns the
+     * time the last byte leaves the serializer.
+     */
+    sim::TimePs serialize(sim::TimePs earliest, sim::TimePs& busy_until,
+                          double gbps, uint64_t wire_bytes);
+
+    const Mapping& resolve(uint64_t addr) const;
+
+    sim::EventQueue& eq_;
+    TlpParams tlp_;
+    std::vector<std::unique_ptr<Port>> ports_;
+    std::vector<Mapping> map_;
+};
+
+} // namespace fld::pcie
+
+#endif // FLD_PCIE_FABRIC_H

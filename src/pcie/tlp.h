@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Transaction-layer-packet (TLP) accounting.
+ *
+ * FLD's whole performance story is PCIe per-packet overhead (§8.1's
+ * performance model): every descriptor read, payload DMA, completion
+ * write and doorbell costs TLP headers on the wire. These helpers
+ * compute the exact on-wire byte cost of a transaction, shared by the
+ * event-driven fabric and the analytical model (Figure 7a).
+ */
+#ifndef FLD_PCIE_TLP_H
+#define FLD_PCIE_TLP_H
+
+#include <cstdint>
+
+#include "util/bitops.h"
+
+namespace fld::pcie {
+
+/**
+ * PCIe link/TLP parameters.
+ *
+ * Defaults approximate PCIe Gen3 x8 as measured by Neugebauer et al.
+ * (SIGCOMM'18): ~24 B of framing+header+LCRC per TLP with payload,
+ * 256 B max payload size, 512 B max read request.
+ */
+struct TlpParams
+{
+    uint32_t mps = 256;       ///< max payload size per TLP (bytes)
+    uint32_t mrrs = 512;      ///< max read request size (bytes)
+    uint32_t hdr = 24;        ///< per-TLP overhead incl. framing (bytes)
+    uint32_t read_req = 24;   ///< memory-read request TLP size (bytes)
+
+    /** Number of TLPs needed to write @p len bytes. */
+    uint32_t write_tlps(uint64_t len) const
+    {
+        return len == 0 ? 1 : uint32_t(ceil_div<uint64_t>(len, mps));
+    }
+
+    /** Total wire bytes for a posted write of @p len bytes. */
+    uint64_t write_wire_bytes(uint64_t len) const
+    {
+        return len + uint64_t(write_tlps(len)) * hdr;
+    }
+
+    /** Number of read-request TLPs to fetch @p len bytes. */
+    uint32_t read_req_tlps(uint64_t len) const
+    {
+        return len == 0 ? 1 : uint32_t(ceil_div<uint64_t>(len, mrrs));
+    }
+
+    /** Wire bytes of the request(s) for a read of @p len bytes. */
+    uint64_t read_req_wire_bytes(uint64_t len) const
+    {
+        return uint64_t(read_req_tlps(len)) * read_req;
+    }
+
+    /** Wire bytes of the completion(s) returning @p len bytes. */
+    uint64_t read_cpl_wire_bytes(uint64_t len) const
+    {
+        return write_wire_bytes(len); // completions segment like writes
+    }
+};
+
+} // namespace fld::pcie
+
+#endif // FLD_PCIE_TLP_H

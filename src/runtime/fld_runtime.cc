@@ -1,0 +1,181 @@
+#include "runtime/fld_runtime.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace fld::runtime {
+
+FldRuntime::FldRuntime(nic::NicDevice& nic, core::FlexDriver& fld,
+                       pcie::MemoryEndpoint& hostmem,
+                       uint64_t host_arena_base, uint64_t host_arena_size)
+    : nic_(nic), fld_(fld), hostmem_(hostmem),
+      arena_next_(host_arena_base),
+      arena_end_(host_arena_base + host_arena_size)
+{
+    // One CQ for all transmit queues and one for receive (§4.3), both
+    // rings living behind the FLD BAR where completions are stored
+    // compressed.
+    uint32_t entries = fld_.config().cq_entries;
+    tx_cqn_ = nic_.create_cq({fld_.tx_cq_addr(), entries, false});
+    // FLD expands mini-CQE blocks, so its receive CQ opts in (the
+    // NIC-level switch still defaults off, matching the paper).
+    rx_cqn_ = nic_.create_cq({fld_.rx_cq_addr(), entries, true});
+}
+
+void
+FldRuntime::set_event_handler(EventHandler fn)
+{
+    events_ = std::move(fn);
+    nic_.set_event_handler([this](const nic::NicEvent& e) {
+        if (events_)
+            events_({RuntimeEvent::Source::Nic,
+                     strfmt("nic event type=%d id=%u", int(e.type),
+                            e.id)});
+    });
+    fld_.set_error_handler([this](const core::FldError& e) {
+        if (events_)
+            events_({RuntimeEvent::Source::Fld,
+                     strfmt("fld error type=%d queue=%u", int(e.type),
+                            e.queue)});
+    });
+}
+
+uint64_t
+FldRuntime::alloc_host(uint64_t size, uint64_t align)
+{
+    arena_next_ = (arena_next_ + align - 1) & ~(align - 1);
+    uint64_t addr = arena_next_;
+    arena_next_ += size;
+    if (arena_next_ > arena_end_)
+        fatal("FldRuntime: host arena exhausted");
+    return addr;
+}
+
+uint64_t
+FldRuntime::write_rx_ring(uint32_t rx_key, uint32_t entries,
+                          uint32_t buffers)
+{
+    uint64_t ring = alloc_host(uint64_t(entries) * nic::kRxDescStride);
+    // Slot i permanently describes buffer i % buffers: FLD recycles
+    // in order, so the descriptors are never rewritten (§5.2).
+    for (uint32_t i = 0; i < entries; ++i) {
+        nic::RxDesc d;
+        d.addr = fld_.rx_buffer_addr(rx_key, i % buffers);
+        d.byte_count = fld_.rx_buffer_bytes_per_buffer();
+        d.stride_count =
+            uint16_t(fld_.config().rx_strides_per_buffer);
+        d.stride_shift = uint16_t(fld_.config().rx_stride_shift);
+        uint8_t enc[nic::kRxDescStride];
+        d.encode(enc);
+        std::memcpy(hostmem_.raw(ring + uint64_t(i) *
+                                            nic::kRxDescStride,
+                                 nic::kRxDescStride),
+                    enc, nic::kRxDescStride);
+    }
+    return ring;
+}
+
+FldRuntime::EthQueue
+FldRuntime::create_eth_queue(nic::VportId vport, uint32_t fld_queue,
+                             uint32_t rx_buffers)
+{
+    EthQueue q;
+    q.fld_queue = fld_queue;
+    q.vport = vport;
+    q.cqn_tx = tx_cqn_;
+    q.cqn_rx = rx_cqn_;
+
+    nic::SqConfig sq;
+    sq.ring_addr = fld_.tx_ring_addr(fld_queue);
+    sq.entries = fld_.config().tx_ring_entries;
+    sq.cqn = tx_cqn_;
+    sq.vport = vport;
+    q.sqn = nic_.create_sq(sq);
+
+    // The RQ ring lives in host memory; data buffers live in FLD SRAM.
+    uint32_t ring_entries = 64;
+    while (ring_entries < 2 * rx_buffers)
+        ring_entries *= 2;
+    nic::RqConfig rq;
+    rq.entries = ring_entries;
+    rq.cqn = rx_cqn_;
+    // Create the RQ first to learn its rqn (the CQE completion key),
+    // then back-fill the ring address.
+    rq.ring_addr = 0;
+    q.rqn = nic_.create_rq(rq);
+
+    // FLD must know the geometry before ring writing needs buffer
+    // addresses.
+    fld_.bind_tx_queue(fld_queue, q.sqn, q.sqn, /*is_rdma=*/false);
+    // bind_rx_queue issues the initial doorbell; write the ring first.
+    // We need the binding (for rx_buffer_addr) before writing ring
+    // entries, so bind without doorbell is not available — instead,
+    // bind, then write the ring, then re-doorbell is unnecessary
+    // because the NIC only reads descriptors when traffic arrives
+    // after the doorbell write has been delivered; the ring write is
+    // a zero-time host-memory store happening at the same instant.
+    fld_.bind_rx_queue(q.rqn, q.rqn, /*is_rdma=*/false, rx_buffers,
+                       /*initial_pi=*/rx_buffers);
+    uint64_t ring = write_rx_ring(q.rqn, ring_entries, rx_buffers);
+    nic_.set_rq_ring_addr(q.rqn, ring);
+    return q;
+}
+
+FldRuntime::FldQp
+FldRuntime::create_fld_qp(nic::VportId vport, uint32_t fld_queue,
+                          uint32_t rx_buffers)
+{
+    FldQp qp;
+    qp.fld_queue = fld_queue;
+    qp.vport = vport;
+
+    nic::SqConfig sq;
+    sq.ring_addr = fld_.tx_ring_addr(fld_queue);
+    sq.entries = fld_.config().tx_ring_entries;
+    sq.cqn = tx_cqn_;
+    sq.vport = vport;
+    qp.sqn = nic_.create_sq(sq);
+
+    uint32_t ring_entries = 64;
+    while (ring_entries < 2 * rx_buffers)
+        ring_entries *= 2;
+    nic::RqConfig rq;
+    rq.entries = ring_entries;
+    rq.cqn = rx_cqn_;
+    rq.ring_addr = 0;
+    qp.rqn = nic_.create_rq(rq);
+
+    qp.qpn = nic_.create_qp({qp.sqn, qp.rqn, vport});
+
+    fld_.bind_tx_queue(fld_queue, qp.sqn, qp.qpn, /*is_rdma=*/true);
+    fld_.bind_rx_queue(qp.qpn, qp.rqn, /*is_rdma=*/true, rx_buffers,
+                       rx_buffers);
+    uint64_t ring = write_rx_ring(qp.qpn, ring_entries, rx_buffers);
+    nic_.set_rq_ring_addr(qp.rqn, ring);
+    return qp;
+}
+
+void
+FldRuntime::connect_qp(const FldQp& qp, uint32_t remote_qpn,
+                       const net::MacAddr& local_mac,
+                       const net::MacAddr& remote_mac)
+{
+    nic_.connect_qp(qp.qpn, {remote_qpn, local_mac, remote_mac});
+}
+
+uint64_t
+FldRuntime::add_accel_action(uint32_t table, int priority,
+                             nic::FlowMatch match, const EthQueue& q,
+                             uint32_t context_id, uint32_t next_table)
+{
+    std::vector<nic::Action> actions;
+    if (context_id != 0)
+        actions.push_back(nic::set_tag(context_id));
+    actions.push_back(nic::send_to_accel(q.rqn, next_table));
+    return nic_.add_rule(table, priority, std::move(match),
+                         std::move(actions));
+}
+
+} // namespace fld::runtime

@@ -1,0 +1,54 @@
+#include "sim/event_queue.h"
+
+#include "util/logging.h"
+
+namespace fld::sim {
+
+void
+EventQueue::schedule_at(TimePs when, Callback cb)
+{
+    if (when < now_)
+        panic("scheduling into the past: %llu < %llu",
+              (unsigned long long)when, (unsigned long long)now_);
+    heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+uint64_t
+EventQueue::run()
+{
+    uint64_t executed = 0;
+    while (!heap_.empty()) {
+        // Copying the callback out before pop keeps re-entrant
+        // scheduling from invalidating the event being executed.
+        Event ev = heap_.top();
+        heap_.pop();
+        now_ = ev.when;
+        ev.cb();
+        ++executed;
+    }
+    return executed;
+}
+
+uint64_t
+EventQueue::run_until(TimePs deadline)
+{
+    uint64_t executed = 0;
+    while (!heap_.empty() && heap_.top().when <= deadline) {
+        Event ev = heap_.top();
+        heap_.pop();
+        now_ = ev.when;
+        ev.cb();
+        ++executed;
+    }
+    if (now_ < deadline)
+        now_ = deadline;
+    return executed;
+}
+
+void
+EventQueue::clear()
+{
+    heap_ = {};
+}
+
+} // namespace fld::sim

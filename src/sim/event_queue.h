@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * A single EventQueue drives a whole simulated testbed (hosts, NICs,
+ * PCIe fabric, FLD, accelerators). Events scheduled for the same tick
+ * execute in scheduling order (a monotonic sequence number breaks ties),
+ * which keeps runs deterministic.
+ */
+#ifndef FLD_SIM_EVENT_QUEUE_H
+#define FLD_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace fld::sim {
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    TimePs now() const { return now_; }
+
+    /** Schedule @p cb to run at absolute time @p when (>= now). */
+    void schedule_at(TimePs when, Callback cb);
+
+    /** Schedule @p cb to run @p delay after the current time. */
+    void schedule_in(TimePs delay, Callback cb)
+    {
+        schedule_at(now_ + delay, std::move(cb));
+    }
+
+    /** Run events until the queue drains. Returns events executed. */
+    uint64_t run();
+
+    /**
+     * Run events with timestamp <= @p deadline, then set now to the
+     * deadline. Returns events executed.
+     */
+    uint64_t run_until(TimePs deadline);
+
+    /** Number of pending events. */
+    size_t pending() const { return heap_.size(); }
+
+    /** Drop all pending events (used between experiment phases). */
+    void clear();
+
+  private:
+    struct Event
+    {
+        TimePs when;
+        uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool operator()(const Event& a, const Event& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    TimePs now_ = 0;
+    uint64_t next_seq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+} // namespace fld::sim
+
+#endif // FLD_SIM_EVENT_QUEUE_H

@@ -1,0 +1,93 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace fld::sim {
+
+void
+Histogram::add(double sample)
+{
+    samples_.push_back(sample);
+    sum_ += sample;
+    sum_sq_ += sample * sample;
+    sorted_valid_ = false;
+}
+
+double
+Histogram::mean() const
+{
+    return samples_.empty() ? 0.0 : sum_ / double(samples_.size());
+}
+
+double
+Histogram::min() const
+{
+    ensure_sorted();
+    return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double
+Histogram::max() const
+{
+    ensure_sorted();
+    return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double
+Histogram::stddev() const
+{
+    if (samples_.size() < 2)
+        return 0.0;
+    double n = double(samples_.size());
+    double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1);
+    return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double
+Histogram::percentile(double pct) const
+{
+    ensure_sorted();
+    if (sorted_.empty())
+        return 0.0;
+    if (sorted_.size() == 1)
+        return sorted_.front();
+    double rank = pct / 100.0 * double(sorted_.size() - 1);
+    size_t lo = size_t(rank);
+    if (lo + 1 >= sorted_.size())
+        return sorted_.back();
+    double frac = rank - double(lo);
+    return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+void
+Histogram::clear()
+{
+    samples_.clear();
+    sorted_.clear();
+    sorted_valid_ = false;
+    sum_ = sum_sq_ = 0;
+}
+
+std::string
+Histogram::summary() const
+{
+    return strfmt("n=%zu mean=%.3f p50=%.3f p99=%.3f p99.9=%.3f max=%.3f",
+                  count(), mean(), percentile(50), percentile(99),
+                  percentile(99.9), max());
+}
+
+void
+Histogram::ensure_sorted() const
+{
+    if (!sorted_valid_) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        sorted_valid_ = true;
+    }
+}
+
+} // namespace fld::sim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Measurement primitives: sample histograms with percentile extraction
+ * and windowed byte/packet rate meters.
+ */
+#ifndef FLD_SIM_STATS_H
+#define FLD_SIM_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace fld::sim {
+
+/**
+ * Collects raw samples and reports order statistics.
+ *
+ * The evaluation's latency tables (e.g., Table 6) need exact
+ * mean/median/99th/99.9th percentiles, so samples are retained verbatim
+ * rather than bucketed.
+ */
+class Histogram
+{
+  public:
+    void add(double sample);
+
+    size_t count() const { return samples_.size(); }
+    double mean() const;
+    double min() const;
+    double max() const;
+    double stddev() const;
+
+    /** Percentile in [0, 100]; linear interpolation between samples. */
+    double percentile(double pct) const;
+    double median() const { return percentile(50.0); }
+
+    void clear();
+
+    /** "mean=... p50=... p99=... p99.9=..." summary string. */
+    std::string summary() const;
+
+  private:
+    void ensure_sorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool sorted_valid_ = false;
+    double sum_ = 0;
+    double sum_sq_ = 0;
+};
+
+/** Accumulates bytes/packets over simulated time and reports rates. */
+class RateMeter
+{
+  public:
+    void record(TimePs now, uint64_t bytes)
+    {
+        if (count_ == 0)
+            first_ = now;
+        last_ = now;
+        bytes_ += bytes;
+        ++count_;
+    }
+
+    uint64_t bytes() const { return bytes_; }
+    uint64_t packets() const { return count_; }
+
+    /** Average goodput between an explicit start/end window. */
+    double gbps(TimePs start, TimePs end) const
+    {
+        return end > start ? gbps_of(bytes_, end - start) : 0.0;
+    }
+
+    /** Average goodput over the observed first..last record window. */
+    double gbps() const { return gbps(first_, last_); }
+
+    /** Packet rate in Mpps over an explicit window. */
+    double mpps(TimePs start, TimePs end) const
+    {
+        if (end <= start)
+            return 0.0;
+        return double(count_) / to_us(end - start);
+    }
+
+    void clear()
+    {
+        bytes_ = count_ = 0;
+        first_ = last_ = 0;
+    }
+
+  private:
+    uint64_t bytes_ = 0;
+    uint64_t count_ = 0;
+    TimePs first_ = 0;
+    TimePs last_ = 0;
+};
+
+} // namespace fld::sim
+
+#endif // FLD_SIM_STATS_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Simulated time base.
+ *
+ * Simulation time is measured in integer picoseconds. At the link rates
+ * the model uses (10/25/40/50/100/400 Gbps) byte serialization delays
+ * are exact integers of picoseconds, which keeps runs bit-reproducible.
+ */
+#ifndef FLD_SIM_TIME_H
+#define FLD_SIM_TIME_H
+
+#include <cstdint>
+
+namespace fld::sim {
+
+/** Simulated time in picoseconds. */
+using TimePs = uint64_t;
+
+constexpr TimePs kPsPerNs = 1000;
+constexpr TimePs kPsPerUs = 1000 * 1000;
+constexpr TimePs kPsPerMs = 1000ull * 1000 * 1000;
+constexpr TimePs kPsPerSec = 1000ull * 1000 * 1000 * 1000;
+
+constexpr TimePs nanoseconds(double ns) { return TimePs(ns * kPsPerNs); }
+constexpr TimePs microseconds(double us) { return TimePs(us * kPsPerUs); }
+constexpr TimePs milliseconds(double ms) { return TimePs(ms * kPsPerMs); }
+constexpr TimePs seconds(double s) { return TimePs(s * kPsPerSec); }
+
+constexpr double to_ns(TimePs t) { return double(t) / kPsPerNs; }
+constexpr double to_us(TimePs t) { return double(t) / kPsPerUs; }
+constexpr double to_ms(TimePs t) { return double(t) / kPsPerMs; }
+constexpr double to_sec(TimePs t) { return double(t) / kPsPerSec; }
+
+/** Serialization time of @p bytes at @p gbps (bits per ns == Gbps). */
+constexpr TimePs serialize_time(uint64_t bytes, double gbps)
+{
+    // bytes * 8 bits / (gbps bits/ns) in ps = bytes * 8000 / gbps.
+    return TimePs(double(bytes) * 8000.0 / gbps + 0.5);
+}
+
+/** Throughput in Gbps given bytes moved over elapsed time. */
+constexpr double gbps_of(uint64_t bytes, TimePs elapsed)
+{
+    return elapsed == 0 ? 0.0 : double(bytes) * 8000.0 / double(elapsed);
+}
+
+} // namespace fld::sim
+
+#endif // FLD_SIM_TIME_H

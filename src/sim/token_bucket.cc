@@ -1,0 +1,43 @@
+#include "sim/token_bucket.h"
+
+#include <algorithm>
+
+namespace fld::sim {
+
+void
+TokenBucket::refill(TimePs now)
+{
+    if (now <= last_refill_)
+        return;
+    // rate_gbps bits/ns == rate_gbps/8000 bytes/ps.
+    double earned = double(now - last_refill_) * rate_gbps_ / 8000.0;
+    tokens_ = std::min(double(burst_), tokens_ + earned);
+    last_refill_ = now;
+}
+
+bool
+TokenBucket::try_consume(TimePs now, uint64_t bytes)
+{
+    if (rate_gbps_ <= 0.0)
+        return true; // unlimited
+    refill(now);
+    if (tokens_ < double(bytes))
+        return false;
+    tokens_ -= double(bytes);
+    return true;
+}
+
+TimePs
+TokenBucket::ready_time(TimePs now, uint64_t bytes)
+{
+    if (rate_gbps_ <= 0.0)
+        return now;
+    refill(now);
+    if (tokens_ >= double(bytes))
+        return now;
+    double deficit = double(bytes) - tokens_;
+    TimePs wait = TimePs(deficit * 8000.0 / rate_gbps_) + 1;
+    return now + wait;
+}
+
+} // namespace fld::sim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Token-bucket rate limiter.
+ *
+ * Used by the NIC model's traffic shaper (the paper's IoT isolation
+ * experiment relies on NIC maximum-bandwidth shaping, §5.4/§8.2.3) and
+ * by workload generators that emit at a fixed offered load.
+ */
+#ifndef FLD_SIM_TOKEN_BUCKET_H
+#define FLD_SIM_TOKEN_BUCKET_H
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace fld::sim {
+
+class TokenBucket
+{
+  public:
+    /**
+     * @param rate_gbps Sustained rate in Gbps (0 = unlimited).
+     * @param burst_bytes Bucket depth; bounds burstiness.
+     */
+    TokenBucket(double rate_gbps, uint64_t burst_bytes)
+        : rate_gbps_(rate_gbps), burst_(burst_bytes),
+          tokens_(double(burst_bytes))
+    {}
+
+    double rate_gbps() const { return rate_gbps_; }
+    void set_rate(double gbps) { rate_gbps_ = gbps; }
+
+    /** True if @p bytes may pass now; consumes tokens when true. */
+    bool try_consume(TimePs now, uint64_t bytes);
+
+    /**
+     * Earliest time at which @p bytes worth of tokens will be
+     * available (== @p now when they already are).
+     */
+    TimePs ready_time(TimePs now, uint64_t bytes);
+
+  private:
+    void refill(TimePs now);
+
+    double rate_gbps_;
+    uint64_t burst_;
+    double tokens_;
+    TimePs last_refill_ = 0;
+};
+
+} // namespace fld::sim
+
+#endif // FLD_SIM_TOKEN_BUCKET_H

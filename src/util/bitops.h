@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the FlexDriver model.
+ */
+#ifndef FLD_UTIL_BITOPS_H
+#define FLD_UTIL_BITOPS_H
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+
+namespace fld {
+
+/** Rotate a 32-bit word left by @p n bits (n in [0, 31]). */
+constexpr uint32_t rotl32(uint32_t x, unsigned n)
+{
+    return (x << n) | (x >> ((32 - n) & 31));
+}
+
+/** Rotate a 64-bit word left by @p n bits (n in [0, 63]). */
+constexpr uint64_t rotl64(uint64_t x, unsigned n)
+{
+    return (x << n) | (x >> ((64 - n) & 63));
+}
+
+/** True iff @p x is a power of two (0 is not). */
+constexpr bool is_pow2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Integer division rounding up. @p b must be non-zero. */
+template <typename T>
+constexpr T ceil_div(T a, T b)
+{
+    static_assert(std::is_integral_v<T>);
+    return (a + b - 1) / b;
+}
+
+/** Round @p x up to the next multiple of @p align (align must be pow2). */
+constexpr uint64_t align_up(uint64_t x, uint64_t align)
+{
+    return (x + align - 1) & ~(align - 1);
+}
+
+/** Round @p x up to the next power of two. round_up_pow2(0) == 1. */
+constexpr uint64_t round_up_pow2(uint64_t x)
+{
+    if (x <= 1)
+        return 1;
+    return uint64_t(1) << (64 - __builtin_clzll(x - 1));
+}
+
+/** Base-2 logarithm of a power of two. */
+constexpr unsigned log2_exact(uint64_t x)
+{
+    return 63 - __builtin_clzll(x);
+}
+
+/** Extract bits [lo, lo+len) from @p x. */
+constexpr uint64_t bits(uint64_t x, unsigned lo, unsigned len)
+{
+    return (x >> lo) & ((len >= 64) ? ~uint64_t(0)
+                                    : ((uint64_t(1) << len) - 1));
+}
+
+/** Load a little-endian 16/32/64-bit value from a byte pointer. */
+inline uint16_t load_le16(const uint8_t* p)
+{
+    return uint16_t(p[0]) | uint16_t(p[1]) << 8;
+}
+inline uint32_t load_le32(const uint8_t* p)
+{
+    return uint32_t(p[0]) | uint32_t(p[1]) << 8 | uint32_t(p[2]) << 16 |
+           uint32_t(p[3]) << 24;
+}
+inline uint64_t load_le64(const uint8_t* p)
+{
+    return uint64_t(load_le32(p)) | uint64_t(load_le32(p + 4)) << 32;
+}
+
+/** Store a little-endian 16/32/64-bit value to a byte pointer. */
+inline void store_le16(uint8_t* p, uint16_t v)
+{
+    p[0] = uint8_t(v);
+    p[1] = uint8_t(v >> 8);
+}
+inline void store_le32(uint8_t* p, uint32_t v)
+{
+    p[0] = uint8_t(v);
+    p[1] = uint8_t(v >> 8);
+    p[2] = uint8_t(v >> 16);
+    p[3] = uint8_t(v >> 24);
+}
+inline void store_le64(uint8_t* p, uint64_t v)
+{
+    store_le32(p, uint32_t(v));
+    store_le32(p + 4, uint32_t(v >> 32));
+}
+
+/** Load a big-endian (network order) 16/32-bit value. */
+inline uint16_t load_be16(const uint8_t* p)
+{
+    return uint16_t(p[0]) << 8 | uint16_t(p[1]);
+}
+inline uint32_t load_be32(const uint8_t* p)
+{
+    return uint32_t(p[0]) << 24 | uint32_t(p[1]) << 16 |
+           uint32_t(p[2]) << 8 | uint32_t(p[3]);
+}
+
+/** Store a big-endian (network order) 16/32-bit value. */
+inline void store_be16(uint8_t* p, uint16_t v)
+{
+    p[0] = uint8_t(v >> 8);
+    p[1] = uint8_t(v);
+}
+inline void store_be32(uint8_t* p, uint32_t v)
+{
+    p[0] = uint8_t(v >> 24);
+    p[1] = uint8_t(v >> 16);
+    p[2] = uint8_t(v >> 8);
+    p[3] = uint8_t(v);
+}
+
+} // namespace fld
+
+#endif // FLD_UTIL_BITOPS_H

@@ -1,0 +1,72 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fld {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char*
+level_name(LogLevel lvl)
+{
+    switch (lvl) {
+      case LogLevel::Trace: return "TRACE";
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+      default: return "?";
+    }
+}
+} // namespace
+
+LogLevel
+log_level()
+{
+    return g_level;
+}
+
+void
+set_log_level(LogLevel lvl)
+{
+    g_level = lvl;
+}
+
+void
+log_emit(LogLevel lvl, const char* tag, const char* fmt, ...)
+{
+    std::fprintf(stderr, "[%s] %s: ", level_name(lvl), tag);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+}
+
+void
+fatal(const char* fmt, ...)
+{
+    std::fprintf(stderr, "fatal: ");
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+    std::exit(1);
+}
+
+void
+panic(const char* fmt, ...)
+{
+    std::fprintf(stderr, "panic: ");
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+    std::abort();
+}
+
+} // namespace fld

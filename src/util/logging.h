@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal leveled logging for the FlexDriver simulation.
+ *
+ * Follows the gem5 convention of separating user errors (fatal) from
+ * internal invariant violations (panic).
+ */
+#ifndef FLD_UTIL_LOGGING_H
+#define FLD_UTIL_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace fld {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/** Global log threshold; messages below it are suppressed. */
+LogLevel log_level();
+void set_log_level(LogLevel lvl);
+
+/** printf-style log emission; prefer the macros below. */
+void log_emit(LogLevel lvl, const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/**
+ * Terminate due to a user/configuration error (exit(1)).
+ * Mirrors gem5's fatal(): the simulation cannot continue but the
+ * simulator itself is not broken.
+ */
+[[noreturn]] void fatal(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate due to an internal invariant violation (abort()).
+ * Mirrors gem5's panic(): this should never happen regardless of input.
+ */
+[[noreturn]] void panic(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace fld
+
+#define FLD_LOG(lvl, tag, ...)                                            \
+    do {                                                                  \
+        if (lvl >= ::fld::log_level())                                    \
+            ::fld::log_emit(lvl, tag, __VA_ARGS__);                       \
+    } while (0)
+
+#define FLD_TRACE(tag, ...) FLD_LOG(::fld::LogLevel::Trace, tag, __VA_ARGS__)
+#define FLD_DEBUG(tag, ...) FLD_LOG(::fld::LogLevel::Debug, tag, __VA_ARGS__)
+#define FLD_INFO(tag, ...) FLD_LOG(::fld::LogLevel::Info, tag, __VA_ARGS__)
+#define FLD_WARN(tag, ...) FLD_LOG(::fld::LogLevel::Warn, tag, __VA_ARGS__)
+#define FLD_ERROR(tag, ...) FLD_LOG(::fld::LogLevel::Error, tag, __VA_ARGS__)
+
+#endif // FLD_UTIL_LOGGING_H

@@ -1,0 +1,79 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fld {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back({std::move(cells), false});
+}
+
+void
+TextTable::separator()
+{
+    rows_.push_back({{}, true});
+}
+
+std::string
+TextTable::render() const
+{
+    size_t ncols = header_.size();
+    for (const auto& r : rows_)
+        ncols = std::max(ncols, r.cells.size());
+
+    std::vector<size_t> width(ncols, 0);
+    auto measure = [&](const std::vector<std::string>& cells) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    measure(header_);
+    for (const auto& r : rows_)
+        measure(r.cells);
+
+    size_t total = 0;
+    for (size_t w : width)
+        total += w + 2;
+    total = total >= 2 ? total - 2 : 0;
+
+    std::string out;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            out += cells[i];
+            if (i + 1 < cells.size())
+                out.append(width[i] - cells[i].size() + 2, ' ');
+        }
+        out += '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        out.append(total, '-');
+        out += '\n';
+    }
+    for (const auto& r : rows_) {
+        if (r.is_separator) {
+            out.append(total, '-');
+            out += '\n';
+        } else {
+            emit(r.cells);
+        }
+    }
+    return out;
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace fld

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plain-text table rendering used by the paper-reproduction benches.
+ *
+ * Every bench prints the same rows/series the paper reports; TextTable
+ * keeps their output aligned and uniform.
+ */
+#ifndef FLD_UTIL_TABLE_H
+#define FLD_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace fld {
+
+/** Column-aligned text table with an optional header row. */
+class TextTable
+{
+  public:
+    /** Set the header row; column count is inferred from it. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row (may be shorter than the header). */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void separator();
+
+    /** Render with two-space column gaps and a rule under the header. */
+    std::string render() const;
+
+    /** Render directly to stdout. */
+    void print() const;
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool is_separator = false;
+    };
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+} // namespace fld
+
+#endif // FLD_UTIL_TABLE_H

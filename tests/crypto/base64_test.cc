@@ -1,0 +1,56 @@
+/** @file base64url codec tests (RFC 4648 vectors, round trips). */
+#include "crypto/base64.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace fld::crypto {
+namespace {
+
+TEST(Base64Url, Rfc4648Vectors)
+{
+    EXPECT_EQ(base64url_encode(std::string("")), "");
+    EXPECT_EQ(base64url_encode(std::string("f")), "Zg");
+    EXPECT_EQ(base64url_encode(std::string("fo")), "Zm8");
+    EXPECT_EQ(base64url_encode(std::string("foo")), "Zm9v");
+    EXPECT_EQ(base64url_encode(std::string("foob")), "Zm9vYg");
+    EXPECT_EQ(base64url_encode(std::string("fooba")), "Zm9vYmE");
+    EXPECT_EQ(base64url_encode(std::string("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64Url, UrlSafeAlphabet)
+{
+    // 0xfb 0xff encodes to characters that would be '+'/'/' in plain
+    // base64; the url-safe alphabet uses '-'/'_'.
+    const uint8_t data[] = {0xfb, 0xef, 0xff};
+    std::string enc = base64url_encode(data, sizeof(data));
+    EXPECT_EQ(enc.find('+'), std::string::npos);
+    EXPECT_EQ(enc.find('/'), std::string::npos);
+}
+
+TEST(Base64Url, DecodeRejectsInvalidChars)
+{
+    EXPECT_FALSE(base64url_decode("ab+d").has_value());
+    EXPECT_FALSE(base64url_decode("ab/d").has_value());
+    EXPECT_FALSE(base64url_decode("ab=d").has_value());
+    EXPECT_FALSE(base64url_decode("a").has_value()); // impossible length
+}
+
+TEST(Base64Url, RandomRoundTrips)
+{
+    fld::Rng rng(42);
+    for (int trial = 0; trial < 200; ++trial) {
+        size_t len = rng.uniform(100);
+        std::vector<uint8_t> data(len);
+        for (auto& b : data)
+            b = uint8_t(rng.next());
+        auto decoded = base64url_decode(
+            base64url_encode(data.data(), data.size()));
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(*decoded, data);
+    }
+}
+
+} // namespace
+} // namespace fld::crypto

@@ -1,0 +1,51 @@
+/** @file CRC-32 check values and incremental-update property. */
+#include "crypto/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fld::crypto {
+namespace {
+
+uint32_t crc_of(const std::string& s)
+{
+    return crc32(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+TEST(Crc32, CheckValue)
+{
+    // Standard CRC-32/ISO-HDLC check value.
+    EXPECT_EQ(crc_of("123456789"), 0xcbf43926u);
+}
+
+TEST(Crc32, EmptyIsZero)
+{
+    EXPECT_EQ(crc_of(""), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    std::string msg = "the incremental interface must compose";
+    for (size_t cut = 0; cut <= msg.size(); ++cut) {
+        const auto* p = reinterpret_cast<const uint8_t*>(msg.data());
+        uint32_t c = crc32_update(0, p, cut);
+        c = crc32_update(c, p + cut, msg.size() - cut);
+        EXPECT_EQ(c, crc_of(msg)) << "cut=" << cut;
+    }
+}
+
+TEST(Crc32, DetectsSingleBitFlip)
+{
+    std::vector<uint8_t> data(64, 0x5a);
+    uint32_t base = crc32(data.data(), data.size());
+    for (size_t byte = 0; byte < data.size(); byte += 7) {
+        data[byte] ^= 0x10;
+        EXPECT_NE(crc32(data.data(), data.size()), base);
+        data[byte] ^= 0x10;
+    }
+}
+
+} // namespace
+} // namespace fld::crypto

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * SHA-256 tests against FIPS 180-4 examples and HMAC-SHA256 against
+ * RFC 4231 test cases.
+ */
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace fld::crypto {
+namespace {
+
+std::string digest_hex(const Sha256Digest& d)
+{
+    return fld::hex(d.data(), d.size());
+}
+
+TEST(Sha256, EmptyString)
+{
+    EXPECT_EQ(digest_hex(Sha256::digest(std::string())),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(digest_hex(Sha256::digest(std::string("abc"))),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    EXPECT_EQ(digest_hex(Sha256::digest(std::string(
+                  "abcdbcdecdefdefgefghfghighijhijk"
+                  "ijkljklmklmnlmnomnopnopq"))),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs)
+{
+    Sha256 ctx;
+    std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        ctx.update(chunk);
+    EXPECT_EQ(digest_hex(ctx.finish()),
+              "cdc76e5c9914fb9281a1c7e284d73e67"
+              "f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot)
+{
+    std::string msg = "The quick brown fox jumps over the lazy dog";
+    for (size_t cut = 0; cut <= msg.size(); ++cut) {
+        Sha256 ctx;
+        ctx.update(msg.substr(0, cut));
+        ctx.update(msg.substr(cut));
+        EXPECT_EQ(ctx.finish(), Sha256::digest(msg)) << "cut=" << cut;
+    }
+}
+
+// RFC 4231 test case 1.
+TEST(HmacSha256, Rfc4231Case1)
+{
+    std::string key(20, char(0x0b));
+    EXPECT_EQ(digest_hex(hmac_sha256(key, "Hi There")),
+              "b0344c61d8db38535ca8afceaf0bf12b"
+              "881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(HmacSha256, Rfc4231Case2)
+{
+    EXPECT_EQ(digest_hex(hmac_sha256(std::string("Jefe"),
+                                     "what do ya want for nothing?")),
+              "5bdcc146bf60754e6a042426089575c7"
+              "5a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20x 0xaa key, 50x 0xdd data.
+TEST(HmacSha256, Rfc4231Case3)
+{
+    std::string key(20, char(0xaa));
+    std::string data(50, char(0xdd));
+    EXPECT_EQ(digest_hex(hmac_sha256(key, data)),
+              "773ea91e36800e46854db8ebd09181a7"
+              "2959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: key longer than one block.
+TEST(HmacSha256, Rfc4231LongKey)
+{
+    std::string key(131, char(0xaa));
+    EXPECT_EQ(digest_hex(hmac_sha256(
+                  key, "Test Using Larger Than Block-Size Key - "
+                       "Hash Key First")),
+              "60e431591ee0b67f0d8a26aacbf5b77f"
+              "8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, DigestEqualConstantTime)
+{
+    auto a = Sha256::digest(std::string("x"));
+    auto b = a;
+    EXPECT_TRUE(digest_equal(a, b));
+    b[31] ^= 1;
+    EXPECT_FALSE(digest_equal(a, b));
+}
+
+} // namespace
+} // namespace fld::crypto

@@ -1,0 +1,103 @@
+/** @file Host CPU model tests: serialization, jitter, utilization. */
+#include "driver/host.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.h"
+
+namespace fld::driver {
+namespace {
+
+HostConfig no_jitter()
+{
+    HostConfig cfg;
+    cfg.jitter_prob = 0.0;
+    return cfg;
+}
+
+TEST(HostNode, CoreSerializesWork)
+{
+    sim::EventQueue eq;
+    HostNode host("h", eq, no_jitter());
+    std::vector<sim::TimePs> done;
+    for (int i = 0; i < 3; ++i) {
+        host.run_on_core(0, sim::nanoseconds(100),
+                         [&] { done.push_back(eq.now()); });
+    }
+    eq.run();
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_EQ(done[0], sim::nanoseconds(100));
+    EXPECT_EQ(done[1], sim::nanoseconds(200));
+    EXPECT_EQ(done[2], sim::nanoseconds(300));
+}
+
+TEST(HostNode, CoresAreIndependent)
+{
+    sim::EventQueue eq;
+    HostNode host("h", eq, no_jitter());
+    sim::TimePs a = 0, b = 0;
+    host.run_on_core(0, sim::microseconds(10), [&] { a = eq.now(); });
+    host.run_on_core(1, sim::nanoseconds(10), [&] { b = eq.now(); });
+    eq.run();
+    EXPECT_EQ(a, sim::microseconds(10));
+    EXPECT_EQ(b, sim::nanoseconds(10));
+}
+
+TEST(HostNode, BusyTimeAccounting)
+{
+    sim::EventQueue eq;
+    HostNode host("h", eq, no_jitter());
+    for (int i = 0; i < 10; ++i)
+        host.run_on_core(2, sim::nanoseconds(50), [] {});
+    eq.run();
+    EXPECT_EQ(host.core_busy_time(2), sim::nanoseconds(500));
+    EXPECT_EQ(host.core_busy_time(3), 0u);
+}
+
+TEST(HostNode, PacketCostFormula)
+{
+    sim::EventQueue eq;
+    HostConfig cfg = no_jitter();
+    cfg.per_byte_cost = 2; // 2 ps/B
+    HostNode host("h", eq, cfg);
+    EXPECT_EQ(host.packet_cost(1000, false),
+              cfg.rx_packet_cost + 2000);
+    EXPECT_EQ(host.packet_cost(0, true), cfg.tx_packet_cost);
+}
+
+TEST(HostNode, JitterCreatesTailLatency)
+{
+    sim::EventQueue eq;
+    HostConfig cfg;
+    cfg.jitter_prob = 0.01;
+    cfg.jitter_min = sim::microseconds(5);
+    HostNode host("h", eq, cfg);
+
+    sim::Histogram latency;
+    // Submit items spaced far enough apart that the core is idle:
+    // observed latency == cost + jitter.
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        eq.schedule_at(sim::microseconds(20) * uint64_t(i), [&, i] {
+            sim::TimePs submit = eq.now();
+            host.run_on_core(0, sim::nanoseconds(100), [&, submit] {
+                latency.add(sim::to_us(eq.now() - submit));
+            });
+        });
+    }
+    eq.run();
+    EXPECT_NEAR(latency.median(), 0.1, 0.01);
+    EXPECT_GT(latency.percentile(99.9), 4.0)
+        << "rare OS jitter must show in the tail";
+    EXPECT_LT(latency.percentile(95), 0.2);
+}
+
+TEST(HostNodeDeath, CoreOutOfRange)
+{
+    sim::EventQueue eq;
+    HostNode host("h", eq, no_jitter());
+    EXPECT_DEATH(host.run_on_core(99, 1, [] {}), "out of range");
+}
+
+} // namespace
+} // namespace fld::driver

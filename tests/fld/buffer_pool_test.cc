@@ -1,0 +1,175 @@
+/** @file TX buffer pool: virtual windows, translation, FIFO frees. */
+#include "fld/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace fld::core {
+namespace {
+
+TEST(TxBufferPool, AllocTranslateRoundTrip)
+{
+    TxBufferPool pool(64 * 1024, 2, 64 * 1024);
+    auto v = pool.alloc(0, 1000);
+    ASSERT_TRUE(v.has_value());
+
+    std::vector<uint8_t> data(1000);
+    std::iota(data.begin(), data.end(), 1);
+    pool.write(0, *v, data.data(), 1000);
+
+    std::vector<uint8_t> out(1000);
+    pool.read(0, *v, out.data(), 1000);
+    EXPECT_EQ(out, data);
+}
+
+TEST(TxBufferPool, QueuesAreIsolated)
+{
+    TxBufferPool pool(64 * 1024, 2, 32 * 1024);
+    auto v0 = pool.alloc(0, 512);
+    auto v1 = pool.alloc(1, 512);
+    ASSERT_TRUE(v0 && v1);
+
+    std::vector<uint8_t> a(512, 0xaa), b(512, 0xbb);
+    pool.write(0, *v0, a.data(), 512);
+    pool.write(1, *v1, b.data(), 512);
+
+    std::vector<uint8_t> out(512);
+    pool.read(0, *v0, out.data(), 512);
+    EXPECT_EQ(out, a);
+    pool.read(1, *v1, out.data(), 512);
+    EXPECT_EQ(out, b);
+}
+
+TEST(TxBufferPool, FifoFreeReturnsChunks)
+{
+    TxBufferPool pool(8 * 1024, 1, 8 * 1024);
+    uint32_t before = pool.free_chunks();
+    ASSERT_TRUE(pool.alloc(0, 1024));
+    ASSERT_TRUE(pool.alloc(0, 2048));
+    EXPECT_EQ(pool.free_chunks(), before - 12); // 4 + 8 chunks
+    pool.free_oldest(0);
+    EXPECT_EQ(pool.free_chunks(), before - 8);
+    pool.free_oldest(0);
+    EXPECT_EQ(pool.free_chunks(), before);
+}
+
+TEST(TxBufferPool, ExhaustionReturnsNullopt)
+{
+    TxBufferPool pool(4 * 1024, 1, 8 * 1024);
+    ASSERT_TRUE(pool.alloc(0, 4 * 1024));
+    EXPECT_FALSE(pool.alloc(0, 256).has_value());
+    pool.free_oldest(0);
+    EXPECT_TRUE(pool.alloc(0, 256).has_value());
+}
+
+TEST(TxBufferPool, WindowBoundsQueueUsage)
+{
+    // Physical 16 KiB but 4 KiB window: a queue may only hold 4 KiB.
+    TxBufferPool pool(16 * 1024, 2, 4 * 1024);
+    ASSERT_TRUE(pool.alloc(0, 4 * 1024));
+    EXPECT_FALSE(pool.alloc(0, 256).has_value());
+    // The other queue still has its own window.
+    EXPECT_TRUE(pool.alloc(1, 4 * 1024).has_value());
+}
+
+TEST(TxBufferPool, WrapPadsToWindowStart)
+{
+    TxBufferPool pool(64 * 1024, 1, 4 * 1024);
+    // 3 KiB then free; next 3 KiB would cross the 4 KiB window end ->
+    // allocation must land at window start (voff 0) again.
+    auto v1 = pool.alloc(0, 3 * 1024);
+    ASSERT_TRUE(v1);
+    EXPECT_EQ(*v1, 0u);
+    pool.free_oldest(0);
+    auto v2 = pool.alloc(0, 3 * 1024);
+    ASSERT_TRUE(v2);
+    EXPECT_EQ(*v2, 0u) << "must pad to window start, not wrap";
+
+    // And the data is still intact through translation.
+    std::vector<uint8_t> data(3 * 1024, 0x5c);
+    pool.write(0, *v2, data.data(), uint32_t(data.size()));
+    std::vector<uint8_t> out(3 * 1024);
+    pool.read(0, *v2, out.data(), uint32_t(out.size()));
+    EXPECT_EQ(out, data);
+}
+
+TEST(TxBufferPool, ScatteredChunksStayVirtuallyContiguous)
+{
+    // Force physical fragmentation: interleave allocs on two queues,
+    // free q0's, then grab a multi-chunk alloc whose physical chunks
+    // cannot be contiguous.
+    TxBufferPool pool(8 * 1024, 2, 8 * 1024);
+    ASSERT_TRUE(pool.alloc(0, 256));
+    ASSERT_TRUE(pool.alloc(1, 256));
+    ASSERT_TRUE(pool.alloc(0, 256));
+    ASSERT_TRUE(pool.alloc(1, 256));
+    pool.free_oldest(0);
+    pool.free_oldest(0);
+
+    auto v = pool.alloc(0, 1024); // 4 chunks, physically scattered
+    ASSERT_TRUE(v);
+    std::vector<uint8_t> data(1024);
+    std::iota(data.begin(), data.end(), 7);
+    pool.write(0, *v, data.data(), 1024);
+    std::vector<uint8_t> out(1024);
+    pool.read(0, *v, out.data(), 1024);
+    EXPECT_EQ(out, data);
+}
+
+TEST(TxBufferPool, AvailableTracksBothLimits)
+{
+    TxBufferPool pool(8 * 1024, 2, 8 * 1024);
+    EXPECT_EQ(pool.available(0), 8 * 1024u);
+    ASSERT_TRUE(pool.alloc(1, 6 * 1024));
+    // Queue 0's window allows 8 KiB but only 2 KiB physical remains.
+    EXPECT_EQ(pool.available(0), 2 * 1024u);
+}
+
+TEST(TxBufferPool, RandomizedFifoChurn)
+{
+    TxBufferPool pool(32 * 1024, 2, 16 * 1024);
+    fld::Rng rng(3);
+    struct Pending
+    {
+        uint32_t q;
+        uint64_t voff;
+        std::vector<uint8_t> data;
+    };
+    std::deque<Pending> pending[2];
+    for (int step = 0; step < 2000; ++step) {
+        uint32_t q = uint32_t(rng.uniform(2));
+        if (rng.chance(0.55)) {
+            uint32_t len = uint32_t(rng.range(1, 3000));
+            auto v = pool.alloc(q, len);
+            if (v) {
+                std::vector<uint8_t> data(len);
+                for (auto& b : data)
+                    b = uint8_t(rng.next());
+                pool.write(q, *v, data.data(), len);
+                pending[q].push_back({q, *v, std::move(data)});
+            }
+        } else if (!pending[q].empty()) {
+            // Verify oldest before freeing (FIFO).
+            Pending& p = pending[q].front();
+            std::vector<uint8_t> out(p.data.size());
+            pool.read(q, p.voff, out.data(), uint32_t(out.size()));
+            ASSERT_EQ(out, p.data) << "step " << step;
+            pool.free_oldest(q);
+            pending[q].pop_front();
+        }
+    }
+}
+
+TEST(TxBufferPool, MemoryAccounting)
+{
+    TxBufferPool pool(256 * 1024, 2, 256 * 1024);
+    EXPECT_EQ(pool.xlt_bytes(), 2u * (256 * 1024 / 256) * 4);
+    EXPECT_EQ(pool.memory_bytes(), 256 * 1024 + pool.xlt_bytes());
+}
+
+} // namespace
+} // namespace fld::core

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Cross-validation: the event-driven simulation must agree with the
+ * analytical performance model (§8.1) where both are applicable —
+ * the paper's own methodology ("meets the expected performance").
+ */
+#include <gtest/gtest.h>
+
+#include "apps/scenarios.h"
+#include "model/perf_model.h"
+
+namespace fld::apps {
+namespace {
+
+double
+run_remote_echo_gbps(size_t frame)
+{
+    PktGenConfig g;
+    g.frame_size = frame;
+    g.offered_gbps = 26.0;
+    auto s = make_fld_echo(true, g);
+    s->gen->start(sim::milliseconds(1), sim::milliseconds(4));
+    s->tb->eq.run();
+    return s->gen->rx_meter().gbps(s->gen->measure_start(),
+                                   s->gen->measure_end());
+}
+
+class ModelVsSim : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(ModelVsSim, SimulationTracksModelWithin15Percent)
+{
+    size_t frame = GetParam();
+    model::PerfModelParams p;
+    p.eth_gbps = 25.0;
+    p.pcie_gbps = 50.0;
+    double expected =
+        model::fld_expected_gbps(p, uint32_t(frame));
+    double measured = run_remote_echo_gbps(frame);
+    EXPECT_GT(measured, expected * 0.85)
+        << "frame " << frame << ": sim far below the model";
+    EXPECT_LT(measured, expected * 1.05)
+        << "frame " << frame << ": sim exceeds the model bound";
+}
+
+INSTANTIATE_TEST_SUITE_P(FrameSizes, ModelVsSim,
+                         ::testing::Values<size_t>(64, 128, 256, 512,
+                                                   1024, 1500));
+
+} // namespace
+} // namespace fld::apps

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Memory-model tests: must reproduce Table 2a and Table 3 *exactly*
+ * (85.3 MiB software vs 832.7 KiB FLD, x105 overall).
+ */
+#include "model/memory_model.h"
+
+#include <gtest/gtest.h>
+
+namespace fld::model {
+namespace {
+
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * 1024.0;
+
+TEST(MemoryModel, Table2aDerivedParameters)
+{
+    MemoryParams p; // defaults == Table 2a
+    DerivedParams d = derive(p);
+    // R = 100 Gbps / (256+20)B = 45.3 Mpps ("45 Mpps").
+    EXPECT_NEAR(d.packet_rate_mpps, 45.3, 0.2);
+    // Min. TX descriptors: ceil(R * 25 us) = 1133.
+    EXPECT_EQ(d.n_txdesc, 1133u);
+    // Min. RX descriptors: ceil(R * 5 us) = 227.
+    EXPECT_EQ(d.n_rxdesc, 227u);
+    // BDPs: 305 KiB and 61 KiB.
+    EXPECT_NEAR(d.s_txbdp / kKiB, 305.2, 0.5);
+    EXPECT_NEAR(d.s_rxbdp / kKiB, 61.0, 0.2);
+}
+
+TEST(MemoryModel, Table3SoftwareColumn)
+{
+    MemoryParams p;
+    MemoryBreakdown m = software_memory(p);
+    EXPECT_NEAR(m.txq / kMiB, 64.0, 0.01);      // 512 * 2048 * 64 B
+    EXPECT_NEAR(m.txdata / kMiB, 17.7, 0.05);   // 16 KiB * 1133
+    EXPECT_NEAR(m.rxdata / kMiB, 3.5, 0.06);    // 16 KiB * 227
+    EXPECT_NEAR(m.cq / kKiB, 144.0, 0.01);      // (2048+256)*64
+    EXPECT_NEAR(m.srq / kKiB, 4.0, 0.01);       // 256*16
+    EXPECT_NEAR(m.pi, 2052.0, 0.1);             // 513*4
+    EXPECT_NEAR(m.total / kMiB, 85.3, 0.2);
+}
+
+TEST(MemoryModel, Table3FldColumn)
+{
+    MemoryParams p;
+    MemoryBreakdown m = fld_memory(p);
+    EXPECT_NEAR(m.txq / kKiB, 32.0, 0.8);     // 2048*8 + 15.5 KiB
+    EXPECT_NEAR(m.txdata / kKiB, 643.0, 2.0); // 2*305 + 33 KiB
+    EXPECT_NEAR(m.rxdata / kKiB, 122.0, 0.5); // 2*61 KiB
+    EXPECT_NEAR(m.cq / kKiB, 33.75, 0.01);    // (2048+256)*15
+    EXPECT_EQ(m.srq, 0.0);                    // host memory
+    EXPECT_NEAR(m.pi, 2052.0, 0.1);
+    EXPECT_NEAR(m.total / kKiB, 832.7, 3.0);
+}
+
+TEST(MemoryModel, Table3ShrinkRatios)
+{
+    MemoryParams p;
+    MemoryBreakdown sw = software_memory(p);
+    MemoryBreakdown fld = fld_memory(p);
+    EXPECT_NEAR(sw.txq / fld.txq, 2080, 60);
+    EXPECT_NEAR(sw.txdata / fld.txdata, 28.2, 0.5);
+    EXPECT_NEAR(sw.rxdata / fld.rxdata, 29.8, 0.5);
+    EXPECT_NEAR(sw.cq / fld.cq, 4.27, 0.02);
+    EXPECT_NEAR(sw.total / fld.total, 105, 2);
+}
+
+TEST(MemoryModel, Figure4ScalingShape)
+{
+    // FLD stays within the XCKU15P (10.05 MiB) even at 400 Gbps and
+    // 2048 queues; the software driver exceeds it by orders of
+    // magnitude (the point of Figure 4).
+    MemoryParams p;
+    p.bandwidth_gbps = 400;
+    p.num_queues = 2048;
+    MemoryBreakdown fld = fld_memory(p);
+    MemoryBreakdown sw = software_memory(p);
+    EXPECT_LT(fld.total / kMiB, 10.05);
+    EXPECT_GT(sw.total / kMiB, 100.0);
+}
+
+TEST(MemoryModel, SoftwareTxRingsScaleWithQueues)
+{
+    MemoryParams p;
+    MemoryBreakdown base = software_memory(p);
+    p.num_queues = 1024;
+    MemoryBreakdown doubled = software_memory(p);
+    EXPECT_NEAR(doubled.txq / base.txq, 2.0, 1e-9);
+    // FLD's tx ring memory is queue-count independent.
+    MemoryParams q;
+    MemoryBreakdown f1 = fld_memory(q);
+    q.num_queues = 1024;
+    MemoryBreakdown f2 = fld_memory(q);
+    EXPECT_NEAR(f2.txq, f1.txq, 1e-9);
+}
+
+TEST(MemoryModel, BandwidthScalesBuffers)
+{
+    MemoryParams p;
+    MemoryBreakdown at100 = fld_memory(p);
+    p.bandwidth_gbps = 200;
+    MemoryBreakdown at200 = fld_memory(p);
+    EXPECT_NEAR(at200.rxdata / at100.rxdata, 2.0, 1e-9);
+    EXPECT_GT(at200.txdata, at100.txdata * 1.9);
+}
+
+} // namespace
+} // namespace fld::model

@@ -1,0 +1,69 @@
+/** @file Internet checksum tests (RFC 1071 example, properties). */
+#include "net/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fld::net {
+namespace {
+
+TEST(Checksum, Rfc1071Example)
+{
+    // Classic example: 00 01 f2 03 f4 f5 f6 f7 -> sum ddf2, csum 220d.
+    const uint8_t data[] = {0x00, 0x01, 0xf2, 0x03,
+                            0xf4, 0xf5, 0xf6, 0xf7};
+    EXPECT_EQ(internet_checksum(data, sizeof(data)), 0x220d);
+}
+
+TEST(Checksum, OddLengthPadsWithZero)
+{
+    const uint8_t odd[] = {0x12, 0x34, 0x56};
+    const uint8_t even[] = {0x12, 0x34, 0x56, 0x00};
+    EXPECT_EQ(internet_checksum(odd, 3), internet_checksum(even, 4));
+}
+
+TEST(Checksum, InsertedChecksumValidatesToZero)
+{
+    std::vector<uint8_t> data = {0xde, 0xad, 0xbe, 0xef, 0x01, 0x02,
+                                 0x00, 0x00}; // last 2 = csum field
+    uint16_t c = internet_checksum(data.data(), data.size());
+    data[6] = uint8_t(c >> 8);
+    data[7] = uint8_t(c);
+    EXPECT_EQ(internet_checksum(data.data(), data.size()), 0);
+}
+
+TEST(Checksum, PartialComposition)
+{
+    std::vector<uint8_t> data(101);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = uint8_t(i * 7 + 3);
+    uint16_t whole = internet_checksum(data.data(), data.size());
+    // Any even split must produce the same folded sum.
+    for (size_t cut = 0; cut <= data.size(); cut += 2) {
+        uint32_t acc = checksum_partial(data.data(), cut, 0);
+        acc = checksum_partial(data.data() + cut, data.size() - cut, acc);
+        EXPECT_EQ(checksum_fold(acc), whole) << "cut=" << cut;
+    }
+}
+
+TEST(Checksum, L4NeverReturnsZero)
+{
+    // A payload engineered so the sum is 0xffff -> fold gives 0 ->
+    // transmitted as 0xffff.
+    const uint8_t zeros[2] = {0, 0};
+    uint16_t c = l4_checksum(0, 0, 0, zeros, 0);
+    EXPECT_EQ(c, 0xffff);
+    (void)zeros;
+}
+
+TEST(Checksum, DetectsCorruption)
+{
+    std::vector<uint8_t> data(64, 0x11);
+    uint16_t base = internet_checksum(data.data(), data.size());
+    data[10] ^= 0x01;
+    EXPECT_NE(internet_checksum(data.data(), data.size()), base);
+}
+
+} // namespace
+} // namespace fld::net

@@ -1,0 +1,111 @@
+/** @file CoAP codec and JWT HS256 sign/verify tests. */
+#include "net/coap.h"
+#include "net/jwt.h"
+
+#include <gtest/gtest.h>
+
+namespace fld::net {
+namespace {
+
+TEST(Coap, RoundTripWithOptionsAndPayload)
+{
+    CoapMessage msg;
+    msg.type = CoapType::Confirmable;
+    msg.code = kCoapCodePost;
+    msg.message_id = 0xbeef;
+    msg.token = {1, 2, 3, 4};
+    msg.uri_path = {"iot", "auth"};
+    msg.payload = {'t', 'o', 'k', 'e', 'n'};
+
+    auto wire = msg.encode();
+    auto decoded = CoapMessage::decode(wire.data(), wire.size());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->type, CoapType::Confirmable);
+    EXPECT_EQ(decoded->code, kCoapCodePost);
+    EXPECT_EQ(decoded->message_id, 0xbeef);
+    EXPECT_EQ(decoded->token, msg.token);
+    EXPECT_EQ(decoded->uri_path, msg.uri_path);
+    EXPECT_EQ(decoded->payload, msg.payload);
+}
+
+TEST(Coap, MinimalMessage)
+{
+    CoapMessage msg;
+    auto wire = msg.encode();
+    EXPECT_EQ(wire.size(), 4u);
+    auto decoded = CoapMessage::decode(wire.data(), wire.size());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(decoded->payload.empty());
+    EXPECT_TRUE(decoded->uri_path.empty());
+}
+
+TEST(Coap, LongUriSegmentUsesExtendedLength)
+{
+    CoapMessage msg;
+    msg.uri_path = {std::string(300, 'x')};
+    auto wire = msg.encode();
+    auto decoded = CoapMessage::decode(wire.data(), wire.size());
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(decoded->uri_path.size(), 1u);
+    EXPECT_EQ(decoded->uri_path[0].size(), 300u);
+}
+
+TEST(Coap, RejectsMalformed)
+{
+    EXPECT_FALSE(CoapMessage::decode(nullptr, 0).has_value());
+    uint8_t bad_version[4] = {0x80, 0, 0, 0}; // version 2
+    EXPECT_FALSE(CoapMessage::decode(bad_version, 4).has_value());
+    uint8_t bad_tkl[4] = {0x49, 0, 0, 0}; // token length 9
+    EXPECT_FALSE(CoapMessage::decode(bad_tkl, 4).has_value());
+    uint8_t marker_no_payload[5] = {0x40, 0, 0, 0, 0xff};
+    EXPECT_FALSE(CoapMessage::decode(marker_no_payload, 5).has_value());
+}
+
+TEST(Jwt, SignVerifyRoundTrip)
+{
+    std::string claims = R"({"sub":"sensor-7","tenant":3})";
+    std::string token = jwt_sign_hs256(claims, "secret-key");
+    auto result = jwt_verify_hs256(token, "secret-key");
+    EXPECT_TRUE(result.valid);
+    EXPECT_EQ(result.claims_json, claims);
+}
+
+TEST(Jwt, WrongKeyFails)
+{
+    std::string token = jwt_sign_hs256("{}", "key-a");
+    EXPECT_FALSE(jwt_verify_hs256(token, "key-b").valid);
+}
+
+TEST(Jwt, TamperedPayloadFails)
+{
+    std::string token = jwt_sign_hs256(R"({"amount":1})", "k");
+    // Flip one character inside the payload segment.
+    size_t dot = token.find('.');
+    token[dot + 2] = token[dot + 2] == 'A' ? 'B' : 'A';
+    EXPECT_FALSE(jwt_verify_hs256(token, "k").valid);
+}
+
+TEST(Jwt, StructurallyInvalidTokensFail)
+{
+    EXPECT_FALSE(jwt_verify_hs256("", "k").valid);
+    EXPECT_FALSE(jwt_verify_hs256("a.b", "k").valid);
+    EXPECT_FALSE(jwt_verify_hs256("a.b.c.d", "k").valid);
+    EXPECT_FALSE(jwt_verify_hs256("!!.!!.!!", "k").valid);
+}
+
+TEST(Jwt, TokenIsThreePartsBase64Url)
+{
+    std::string token = jwt_sign_hs256("{}", "k");
+    int dots = 0;
+    for (char c : token) {
+        if (c == '.')
+            ++dots;
+        else
+            EXPECT_TRUE(isalnum(uint8_t(c)) || c == '-' || c == '_')
+                << "unexpected char " << c;
+    }
+    EXPECT_EQ(dots, 2);
+}
+
+} // namespace
+} // namespace fld::net

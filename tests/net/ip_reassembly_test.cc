@@ -1,0 +1,187 @@
+/** @file IP fragmentation/reassembly tests. */
+#include "net/ip_reassembly.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace fld::net {
+namespace {
+
+const MacAddr kMacA = {0x02, 0, 0, 0, 0, 1};
+const MacAddr kMacB = {0x02, 0, 0, 0, 0, 2};
+
+Packet make_udp(size_t payload_len, uint16_t ip_id)
+{
+    std::vector<uint8_t> payload(payload_len);
+    std::iota(payload.begin(), payload.end(), uint8_t(ip_id));
+    return PacketBuilder()
+        .eth(kMacA, kMacB)
+        .ipv4(ipv4_addr(10, 0, 0, 1), ipv4_addr(10, 0, 0, 2),
+              kIpProtoUdp, ip_id)
+        .udp(4000, 5000)
+        .payload(payload)
+        .build();
+}
+
+TEST(IpFragment, SmallPacketPassesThrough)
+{
+    Packet pkt = make_udp(100, 1);
+    auto frags = ip_fragment(pkt, 1500);
+    ASSERT_EQ(frags.size(), 1u);
+    EXPECT_EQ(frags[0].data, pkt.data);
+}
+
+TEST(IpFragment, SplitsRespectMtuAndAlignment)
+{
+    Packet pkt = make_udp(3000, 2);
+    auto frags = ip_fragment(pkt, 1450);
+    ASSERT_GE(frags.size(), 2u);
+    for (size_t i = 0; i < frags.size(); ++i) {
+        ParsedPacket pp = parse(frags[i]);
+        ASSERT_TRUE(pp.ipv4);
+        EXPECT_LE(pp.ipv4->total_len, 1450);
+        EXPECT_EQ(pp.ipv4->more_fragments, i + 1 < frags.size());
+        if (i + 1 < frags.size()) {
+            // All but the last carry 8-byte-aligned payloads.
+            EXPECT_EQ((pp.ipv4->total_len - kIpv4HeaderLen) % 8, 0u);
+        }
+    }
+}
+
+TEST(IpReassembler, InOrderReassembly)
+{
+    Packet pkt = make_udp(4000, 3);
+    auto frags = ip_fragment(pkt, 1500);
+    ASSERT_GT(frags.size(), 1u);
+
+    IpReassembler reasm;
+    std::optional<Packet> done;
+    for (auto& f : frags) {
+        auto r = reasm.push(f);
+        if (r)
+            done = r;
+    }
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(done->data, pkt.data) << "byte-exact reassembly expected";
+    EXPECT_EQ(reasm.stats().packets_out, 1u);
+}
+
+TEST(IpReassembler, OutOfOrderReassembly)
+{
+    Packet pkt = make_udp(5000, 4);
+    auto frags = ip_fragment(pkt, 1000);
+    std::reverse(frags.begin(), frags.end());
+
+    IpReassembler reasm;
+    std::optional<Packet> done;
+    for (auto& f : frags) {
+        auto r = reasm.push(f);
+        if (r)
+            done = r;
+    }
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(done->data, pkt.data);
+}
+
+TEST(IpReassembler, RandomOrderManyDatagramsInterleaved)
+{
+    fld::Rng rng(99);
+    std::vector<Packet> originals;
+    std::vector<Packet> all_frags;
+    for (uint16_t id = 10; id < 20; ++id) {
+        Packet pkt = make_udp(2000 + id * 137 % 3000, id);
+        originals.push_back(pkt);
+        for (auto& f : ip_fragment(pkt, 1100))
+            all_frags.push_back(std::move(f));
+    }
+    // Shuffle fragments of all datagrams together.
+    for (size_t i = all_frags.size(); i > 1; --i)
+        std::swap(all_frags[i - 1], all_frags[rng.uniform(i)]);
+
+    IpReassembler reasm;
+    std::vector<Packet> out;
+    for (auto& f : all_frags) {
+        auto r = reasm.push(f);
+        if (r)
+            out.push_back(std::move(*r));
+    }
+    ASSERT_EQ(out.size(), originals.size());
+    // Match reassembled datagrams to originals by IP id.
+    for (const auto& o : originals) {
+        uint16_t id = parse(o).ipv4->id;
+        auto it = std::find_if(out.begin(), out.end(), [&](const Packet& p) {
+            return parse(p).ipv4->id == id;
+        });
+        ASSERT_NE(it, out.end());
+        EXPECT_EQ(it->data, o.data);
+    }
+}
+
+TEST(IpReassembler, NonFragmentPassesThrough)
+{
+    IpReassembler reasm;
+    Packet pkt = make_udp(200, 7);
+    auto r = reasm.push(pkt);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->data, pkt.data);
+    EXPECT_EQ(reasm.stats().fragments_in, 0u);
+}
+
+TEST(IpReassembler, DuplicateFragmentCountsOverlap)
+{
+    Packet pkt = make_udp(3000, 8);
+    auto frags = ip_fragment(pkt, 1500);
+    IpReassembler reasm;
+    reasm.push(frags[0]);
+    reasm.push(frags[0]); // duplicate
+    EXPECT_GT(reasm.stats().overlaps, 0u);
+    std::optional<Packet> done;
+    for (size_t i = 1; i < frags.size(); ++i) {
+        auto r = reasm.push(frags[i]);
+        if (r)
+            done = r;
+    }
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(done->data, pkt.data);
+}
+
+TEST(IpReassembler, ContextLimitEvictsOldest)
+{
+    IpReassembler reasm(4);
+    // Open 6 half-finished contexts.
+    for (uint16_t id = 0; id < 6; ++id) {
+        Packet pkt = make_udp(3000, uint16_t(100 + id));
+        auto frags = ip_fragment(pkt, 1500);
+        reasm.push(frags[0]); // first fragment only
+    }
+    EXPECT_LE(reasm.stats().contexts_active, 4u);
+    EXPECT_GE(reasm.stats().timeouts, 2u);
+}
+
+TEST(IpReassembler, ExpireDropsStaleContexts)
+{
+    IpReassembler reasm;
+    reasm.tick(0);
+    Packet pkt = make_udp(3000, 42);
+    auto frags = ip_fragment(pkt, 1500);
+    reasm.push(frags[0]);
+    reasm.expire(1000, 500);
+    EXPECT_EQ(reasm.stats().contexts_active, 0u);
+    EXPECT_EQ(reasm.stats().timeouts, 1u);
+
+    // Late fragments then never complete: push remaining, no output.
+    std::optional<Packet> done;
+    for (size_t i = 1; i < frags.size(); ++i) {
+        auto r = reasm.push(frags[i]);
+        if (r)
+            done = r;
+    }
+    EXPECT_FALSE(done.has_value());
+}
+
+} // namespace
+} // namespace fld::net

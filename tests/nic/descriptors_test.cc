@@ -1,0 +1,126 @@
+/** @file Vendor descriptor format round-trip tests. */
+#include "nic/descriptors.h"
+
+#include <gtest/gtest.h>
+
+namespace fld::nic {
+namespace {
+
+TEST(Wqe, RoundTrip)
+{
+    Wqe w;
+    w.opcode = WqeOpcode::EthSend;
+    w.signaled = true;
+    w.wqe_index = 0xbeef;
+    w.qpn = 42;
+    w.flow_tag = 0x12345678;
+    w.next_table = 7;
+    w.addr = 0xdead'beef'cafe'f00dull;
+    w.byte_count = 1500;
+    w.msg_id = 99;
+
+    uint8_t buf[kWqeStride];
+    w.encode(buf);
+    Wqe d = Wqe::decode(buf);
+    EXPECT_EQ(d.opcode, WqeOpcode::EthSend);
+    EXPECT_TRUE(d.signaled);
+    EXPECT_EQ(d.wqe_index, 0xbeef);
+    EXPECT_EQ(d.qpn, 42u);
+    EXPECT_EQ(d.flow_tag, 0x12345678u);
+    EXPECT_EQ(d.next_table, 7u);
+    EXPECT_EQ(d.addr, 0xdead'beef'cafe'f00dull);
+    EXPECT_EQ(d.byte_count, 1500u);
+    EXPECT_EQ(d.msg_id, 99u);
+}
+
+TEST(Wqe, DefaultIsUnsignaledNop)
+{
+    uint8_t buf[kWqeStride];
+    Wqe{}.encode(buf);
+    Wqe d = Wqe::decode(buf);
+    EXPECT_EQ(d.opcode, WqeOpcode::Nop);
+    EXPECT_FALSE(d.signaled);
+}
+
+TEST(RxDesc, RoundTrip)
+{
+    RxDesc d;
+    d.addr = 0x1000'2000'3000ull;
+    d.byte_count = 256 * 1024;
+    d.stride_count = 128;
+    d.stride_shift = 11;
+    uint8_t buf[kRxDescStride];
+    d.encode(buf);
+    RxDesc out = RxDesc::decode(buf);
+    EXPECT_EQ(out.addr, d.addr);
+    EXPECT_EQ(out.byte_count, d.byte_count);
+    EXPECT_EQ(out.stride_count, 128);
+    EXPECT_EQ(out.stride_shift, 11);
+}
+
+TEST(Cqe, RoundTrip)
+{
+    Cqe c;
+    c.opcode = CqeOpcode::Rx;
+    c.flags = kCqeL3Ok | kCqeL4Ok | kCqeRdmaLast;
+    c.wqe_counter = 17;
+    c.qpn = 3;
+    c.byte_count = 999;
+    c.rss_hash = 0xaabbccdd;
+    c.flow_tag = 0x55;
+    c.stride_index = 12;
+    c.rq_wqe_index = 4;
+    c.msg_id = 1234;
+    c.msg_offset = 2048;
+    c.owner = 1;
+
+    uint8_t buf[kCqeStride];
+    c.encode(buf);
+    Cqe d = Cqe::decode(buf);
+    EXPECT_EQ(d.opcode, CqeOpcode::Rx);
+    EXPECT_EQ(d.flags, c.flags);
+    EXPECT_EQ(d.wqe_counter, 17);
+    EXPECT_EQ(d.qpn, 3u);
+    EXPECT_EQ(d.byte_count, 999u);
+    EXPECT_EQ(d.rss_hash, 0xaabbccddu);
+    EXPECT_EQ(d.flow_tag, 0x55u);
+    EXPECT_EQ(d.stride_index, 12);
+    EXPECT_EQ(d.rq_wqe_index, 4);
+    EXPECT_EQ(d.msg_id, 1234u);
+    EXPECT_EQ(d.msg_offset, 2048u);
+    EXPECT_EQ(d.owner, 1);
+}
+
+TEST(Cqe, OwnerByteIsLast)
+{
+    // The owner/phase bit must be the final byte so that a sequential
+    // DMA write commits it after the payload fields.
+    Cqe c;
+    c.owner = 1;
+    uint8_t buf[kCqeStride];
+    c.encode(buf);
+    EXPECT_EQ(buf[63], 1);
+}
+
+TEST(RdmaHeader, RoundTrip)
+{
+    RdmaHeader h;
+    h.opcode = RdmaOpcode::SendMiddle;
+    h.flags = 3;
+    h.dst_qpn = 0x00abcdef;
+    h.psn = 0x01020304;
+    h.msg_len = 16384;
+    h.msg_id = 77;
+    uint8_t buf[kRdmaHeaderLen];
+    h.encode(buf);
+    RdmaHeader d = RdmaHeader::decode(buf);
+    EXPECT_EQ(d.opcode, RdmaOpcode::SendMiddle);
+    EXPECT_EQ(d.flags, 3);
+    EXPECT_EQ(d.dst_qpn, 0x00abcdefu);
+    EXPECT_EQ(d.psn, 0x01020304u);
+    EXPECT_EQ(d.msg_len, 16384u);
+    EXPECT_EQ(d.msg_id, 77u);
+}
+
+} // namespace
+} // namespace fld::nic

@@ -1,0 +1,168 @@
+/** @file Match-action table tests: wildcards, priorities, counters. */
+#include "nic/flow_table.h"
+
+#include <gtest/gtest.h>
+
+#include "net/headers.h"
+
+namespace fld::nic {
+namespace {
+
+using net::ipv4_addr;
+
+net::Packet udp_packet(uint32_t src, uint32_t dst, uint16_t sport,
+                       uint16_t dport)
+{
+    return net::PacketBuilder()
+        .eth({2, 0, 0, 0, 0, 1}, {2, 0, 0, 0, 0, 2})
+        .ipv4(src, dst, net::kIpProtoUdp)
+        .udp(sport, dport)
+        .payload(std::vector<uint8_t>{1, 2, 3})
+        .build();
+}
+
+TEST(FlowFields, ExtractsUdpTuple)
+{
+    net::Packet pkt =
+        udp_packet(ipv4_addr(10, 0, 0, 1), ipv4_addr(10, 0, 0, 2), 5, 7);
+    FlowFields f = FlowFields::of(pkt, 3);
+    EXPECT_EQ(f.in_vport, 3);
+    EXPECT_EQ(f.ethertype, net::kEtherTypeIpv4);
+    EXPECT_EQ(f.ip_proto, net::kIpProtoUdp);
+    EXPECT_EQ(f.src_ip, ipv4_addr(10, 0, 0, 1));
+    EXPECT_EQ(f.dst_ip, ipv4_addr(10, 0, 0, 2));
+    EXPECT_EQ(f.sport, 5);
+    EXPECT_EQ(f.dport, 7);
+    EXPECT_TRUE(f.has_l4);
+    EXPECT_FALSE(f.is_fragment);
+}
+
+TEST(FlowTables, WildcardMatchesEverything)
+{
+    FlowTables t;
+    t.add_rule(0, 0, {}, {drop_action()});
+    net::Packet pkt = udp_packet(1, 2, 3, 4);
+    EXPECT_NE(t.lookup(0, FlowFields::of(pkt, 0)), nullptr);
+}
+
+TEST(FlowTables, FieldMatching)
+{
+    FlowTables t;
+    FlowMatch m;
+    m.dport = 4789;
+    m.ip_proto = net::kIpProtoUdp;
+    t.add_rule(0, 0, m, {drop_action()});
+
+    net::Packet hit = udp_packet(1, 2, 999, 4789);
+    net::Packet miss = udp_packet(1, 2, 999, 80);
+    EXPECT_NE(t.lookup(0, FlowFields::of(hit, 0)), nullptr);
+    EXPECT_EQ(t.lookup(0, FlowFields::of(miss, 0)), nullptr);
+}
+
+TEST(FlowTables, PriorityOrdering)
+{
+    FlowTables t;
+    FlowMatch specific;
+    specific.dport = 80;
+    uint64_t low = t.add_rule(0, 1, {}, {drop_action()});
+    uint64_t high = t.add_rule(0, 10, specific, {fwd_vport(2)});
+
+    net::Packet pkt = udp_packet(1, 2, 3, 80);
+    FlowRule* r = t.lookup(0, FlowFields::of(pkt, 0));
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->id, high);
+
+    net::Packet other = udp_packet(1, 2, 3, 81);
+    r = t.lookup(0, FlowFields::of(other, 0));
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->id, low);
+}
+
+TEST(FlowTables, EqualPriorityIsInsertionOrder)
+{
+    FlowTables t;
+    uint64_t first = t.add_rule(0, 5, {}, {drop_action()});
+    t.add_rule(0, 5, {}, {fwd_vport(1)});
+    net::Packet pkt = udp_packet(1, 2, 3, 4);
+    EXPECT_EQ(t.lookup(0, FlowFields::of(pkt, 0))->id, first);
+}
+
+TEST(FlowTables, RemoveRule)
+{
+    FlowTables t;
+    uint64_t id = t.add_rule(0, 0, {}, {drop_action()});
+    EXPECT_EQ(t.rule_count(), 1u);
+    EXPECT_TRUE(t.remove_rule(id));
+    EXPECT_FALSE(t.remove_rule(id));
+    EXPECT_EQ(t.rule_count(), 0u);
+    net::Packet pkt = udp_packet(1, 2, 3, 4);
+    EXPECT_EQ(t.lookup(0, FlowFields::of(pkt, 0)), nullptr);
+}
+
+TEST(FlowTables, TablesAreIndependent)
+{
+    FlowTables t;
+    t.add_rule(1, 0, {}, {drop_action()});
+    net::Packet pkt = udp_packet(1, 2, 3, 4);
+    EXPECT_EQ(t.lookup(0, FlowFields::of(pkt, 0)), nullptr);
+    EXPECT_NE(t.lookup(1, FlowFields::of(pkt, 0)), nullptr);
+}
+
+TEST(FlowTables, FragmentMatching)
+{
+    FlowTables t;
+    FlowMatch frag_match;
+    frag_match.is_fragment = true;
+    t.add_rule(0, 0, frag_match, {fwd_queue(9)});
+
+    net::Packet pkt = udp_packet(1, 2, 3, 4);
+    EXPECT_EQ(t.lookup(0, FlowFields::of(pkt, 0)), nullptr);
+
+    // Forge fragment bits.
+    net::Ipv4Header ih =
+        net::Ipv4Header::decode(pkt.bytes() + net::kEthHeaderLen);
+    ih.more_fragments = true;
+    ih.encode(pkt.bytes() + net::kEthHeaderLen, true);
+    EXPECT_NE(t.lookup(0, FlowFields::of(pkt, 0)), nullptr);
+}
+
+TEST(FlowTables, TagMatchingAfterSetTag)
+{
+    FlowTables t;
+    FlowMatch tag_match;
+    tag_match.flow_tag = 0x42;
+    t.add_rule(2, 0, tag_match, {drop_action()});
+
+    net::Packet pkt = udp_packet(1, 2, 3, 4);
+    pkt.meta.flow_tag = 0x42;
+    EXPECT_NE(t.lookup(2, FlowFields::of(pkt, 0)), nullptr);
+    pkt.meta.flow_tag = 0x43;
+    EXPECT_EQ(t.lookup(2, FlowFields::of(pkt, 0)), nullptr);
+}
+
+TEST(FlowTables, Counters)
+{
+    FlowTables t;
+    EXPECT_EQ(t.counter(5), 0u);
+    t.bump_counter(5, 100);
+    t.bump_counter(5, 50);
+    EXPECT_EQ(t.counter(5), 150u);
+    EXPECT_EQ(t.counter(6), 0u);
+}
+
+TEST(FlowActions, ConstructorsEncodeArgs)
+{
+    Action a = send_to_accel(7, 42);
+    EXPECT_EQ(a.type, ActionType::SendToAccel);
+    EXPECT_EQ(a.arg0, 7u);
+    EXPECT_EQ(a.arg1, 42u);
+
+    Action e = vxlan_encap(0x99, 1, 2);
+    EXPECT_EQ(e.type, ActionType::VxlanEncap);
+    EXPECT_EQ(e.arg1, 0x99u);
+    EXPECT_EQ(e.arg2, 1u);
+    EXPECT_EQ(e.arg3, 2u);
+}
+
+} // namespace
+} // namespace fld::nic

@@ -1,0 +1,98 @@
+/** @file Ethernet link serialization/latency tests. */
+#include "nic/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace fld::nic {
+namespace {
+
+TEST(EthernetLink, DeliversWithSerializationAndLatency)
+{
+    sim::EventQueue eq;
+    NetPort a("a"), b("b");
+    EthernetLink link(eq, a, b, 25.0, sim::nanoseconds(300));
+
+    sim::TimePs arrival = 0;
+    b.set_rx_handler([&](net::Packet&&) { arrival = eq.now(); });
+
+    net::Packet pkt(std::vector<uint8_t>(1500, 0));
+    a.transmit(std::move(pkt));
+    eq.run();
+
+    // (1500+20 preamble/IFG) B at 25 Gbps = 486.4 ns + 300 ns.
+    sim::TimePs expect =
+        sim::serialize_time(1520, 25.0) + sim::nanoseconds(300);
+    EXPECT_EQ(arrival, expect);
+}
+
+TEST(EthernetLink, BackToBackFramesRateLimit)
+{
+    sim::EventQueue eq;
+    NetPort a("a"), b("b");
+    EthernetLink link(eq, a, b, 25.0, 0);
+
+    int received = 0;
+    sim::TimePs last = 0;
+    b.set_rx_handler([&](net::Packet&&) {
+        ++received;
+        last = eq.now();
+    });
+
+    const int n = 1000;
+    for (int i = 0; i < n; ++i)
+        a.transmit(net::Packet(std::vector<uint8_t>(1500, 0)));
+    eq.run();
+
+    ASSERT_EQ(received, n);
+    double goodput = sim::gbps_of(uint64_t(n) * 1500, last);
+    // Goodput = 25 * 1500/1520 = 24.67 Gbps.
+    EXPECT_NEAR(goodput, 25.0 * 1500 / 1520, 0.1);
+}
+
+TEST(EthernetLink, FullDuplex)
+{
+    sim::EventQueue eq;
+    NetPort a("a"), b("b");
+    EthernetLink link(eq, a, b, 10.0, 0);
+
+    sim::TimePs a_done = 0, b_done = 0;
+    a.set_rx_handler([&](net::Packet&&) { a_done = eq.now(); });
+    b.set_rx_handler([&](net::Packet&&) { b_done = eq.now(); });
+
+    a.transmit(net::Packet(std::vector<uint8_t>(1000, 0)));
+    b.transmit(net::Packet(std::vector<uint8_t>(1000, 0)));
+    eq.run();
+
+    // Each direction independent: both arrive after one serialization.
+    sim::TimePs one = sim::serialize_time(1020, 10.0);
+    EXPECT_EQ(a_done, one);
+    EXPECT_EQ(b_done, one);
+}
+
+TEST(EthernetLink, MetersCountPerDirection)
+{
+    sim::EventQueue eq;
+    NetPort a("a"), b("b");
+    EthernetLink link(eq, a, b, 10.0, 0);
+    a.set_rx_handler([](net::Packet&&) {});
+    b.set_rx_handler([](net::Packet&&) {});
+
+    a.transmit(net::Packet(std::vector<uint8_t>(100, 0)));
+    a.transmit(net::Packet(std::vector<uint8_t>(100, 0)));
+    b.transmit(net::Packet(std::vector<uint8_t>(50, 0)));
+    eq.run();
+
+    EXPECT_EQ(link.meter(0).packets(), 2u);
+    EXPECT_EQ(link.meter(0).bytes(), 200u);
+    EXPECT_EQ(link.meter(1).packets(), 1u);
+    EXPECT_EQ(link.meter(1).bytes(), 50u);
+}
+
+TEST(NetPort, UnconnectedTransmitIsDropped)
+{
+    NetPort p("lonely");
+    p.transmit(net::Packet(std::vector<uint8_t>(10, 0))); // no crash
+}
+
+} // namespace
+} // namespace fld::nic

@@ -1,0 +1,100 @@
+/** @file Discrete-event engine ordering and determinism tests. */
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fld::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule_at(300, [&] { order.push_back(3); });
+    eq.schedule_at(100, [&] { order.push_back(1); });
+    eq.schedule_at(200, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 300u);
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule_at(50, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ReentrantScheduling)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule_at(10, [&] {
+        ++fired;
+        eq.schedule_in(5, [&] {
+            ++fired;
+            eq.schedule_in(5, [&] { ++fired; });
+        });
+    });
+    EXPECT_EQ(eq.run(), 3u);
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule_at(100, [&] { ++fired; });
+    eq.schedule_at(200, [&] { ++fired; });
+    eq.schedule_at(300, [&] { ++fired; });
+    EXPECT_EQ(eq.run_until(200), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 200u);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle)
+{
+    EventQueue eq;
+    eq.run_until(5000);
+    EXPECT_EQ(eq.now(), 5000u);
+}
+
+TEST(EventQueue, ScheduleInUsesCurrentTime)
+{
+    EventQueue eq;
+    TimePs observed = 0;
+    eq.schedule_at(100, [&] {
+        eq.schedule_in(50, [&] { observed = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(observed, 150u);
+}
+
+TEST(EventQueue, ClearDropsPending)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule_at(10, [&] { ++fired; });
+    eq.clear();
+    eq.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueDeath, SchedulingIntoPastPanics)
+{
+    EventQueue eq;
+    eq.schedule_at(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule_at(50, [] {}), "past");
+}
+
+} // namespace
+} // namespace fld::sim

@@ -1,0 +1,92 @@
+/** @file Histogram and RateMeter tests. */
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace fld::sim {
+namespace {
+
+TEST(Histogram, MeanAndExtremes)
+{
+    Histogram h;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 4.0);
+    EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Histogram, PercentilesOfUniformRamp)
+{
+    Histogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.add(double(i));
+    EXPECT_NEAR(h.median(), 500.5, 1.0);
+    EXPECT_NEAR(h.percentile(99), 990, 1.5);
+    EXPECT_NEAR(h.percentile(99.9), 999, 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 1000.0);
+}
+
+TEST(Histogram, SingleSample)
+{
+    Histogram h;
+    h.add(42.0);
+    EXPECT_DOUBLE_EQ(h.median(), 42.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.9), 42.0);
+    EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
+}
+
+TEST(Histogram, EmptyIsSafe)
+{
+    Histogram h;
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, StddevOfKnownSet)
+{
+    Histogram h;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        h.add(v);
+    EXPECT_NEAR(h.stddev(), 2.138, 0.001); // sample stddev
+}
+
+TEST(Histogram, AddAfterPercentileQuery)
+{
+    Histogram h;
+    h.add(1.0);
+    EXPECT_DOUBLE_EQ(h.median(), 1.0);
+    h.add(3.0);
+    EXPECT_DOUBLE_EQ(h.median(), 2.0); // resorted after mutation
+}
+
+TEST(RateMeter, GbpsOverWindow)
+{
+    RateMeter m;
+    // 125 MB over 10 ms = 100 Gbps.
+    m.record(0, 0);
+    m.record(milliseconds(10), 125'000'000);
+    EXPECT_NEAR(m.gbps(0, milliseconds(10)), 100.0, 1e-9);
+}
+
+TEST(RateMeter, MppsOverWindow)
+{
+    RateMeter m;
+    for (int i = 0; i < 1000; ++i)
+        m.record(microseconds(i), 64);
+    // 1000 packets over 100 us = 10 Mpps.
+    EXPECT_NEAR(m.mpps(0, microseconds(100)), 10.0, 1e-9);
+}
+
+TEST(RateMeter, EmptyWindowIsZero)
+{
+    RateMeter m;
+    EXPECT_DOUBLE_EQ(m.gbps(100, 100), 0.0);
+    EXPECT_DOUBLE_EQ(m.gbps(), 0.0);
+}
+
+} // namespace
+} // namespace fld::sim

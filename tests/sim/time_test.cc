@@ -1,0 +1,43 @@
+/** @file Time base conversions and serialization-delay math. */
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace fld::sim {
+namespace {
+
+TEST(Time, UnitConversions)
+{
+    EXPECT_EQ(nanoseconds(1), kPsPerNs);
+    EXPECT_EQ(microseconds(2.5), 2'500'000u);
+    EXPECT_EQ(milliseconds(1), 1'000'000'000u);
+    EXPECT_EQ(seconds(1), 1'000'000'000'000u);
+    EXPECT_DOUBLE_EQ(to_us(microseconds(7)), 7.0);
+    EXPECT_DOUBLE_EQ(to_ns(nanoseconds(3)), 3.0);
+}
+
+TEST(Time, SerializeTimeExactAtModelRates)
+{
+    // 1500 B at 25 Gbps: 1500*8/25 = 480 ns.
+    EXPECT_EQ(serialize_time(1500, 25.0), nanoseconds(480));
+    // 64 B at 100 Gbps: 64*8/100 = 5.12 ns.
+    EXPECT_EQ(serialize_time(64, 100.0), 5120u);
+    // 1 B at 400 Gbps: 20 ps.
+    EXPECT_EQ(serialize_time(1, 400.0), 20u);
+}
+
+TEST(Time, GbpsOfInvertsSerializeTime)
+{
+    for (double rate : {10.0, 25.0, 40.0, 50.0, 100.0, 400.0}) {
+        TimePs t = serialize_time(1'000'000, rate);
+        EXPECT_NEAR(gbps_of(1'000'000, t), rate, 1e-6);
+    }
+}
+
+TEST(Time, GbpsOfZeroElapsed)
+{
+    EXPECT_DOUBLE_EQ(gbps_of(100, 0), 0.0);
+}
+
+} // namespace
+} // namespace fld::sim

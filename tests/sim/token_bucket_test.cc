@@ -1,0 +1,69 @@
+/** @file Token-bucket shaping tests. */
+#include "sim/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+namespace fld::sim {
+namespace {
+
+TEST(TokenBucket, BurstThenBlocked)
+{
+    TokenBucket tb(1.0 /*Gbps*/, 1000 /*burst bytes*/);
+    EXPECT_TRUE(tb.try_consume(0, 1000));
+    EXPECT_FALSE(tb.try_consume(0, 1));
+}
+
+TEST(TokenBucket, RefillsAtConfiguredRate)
+{
+    TokenBucket tb(1.0, 1000);
+    ASSERT_TRUE(tb.try_consume(0, 1000));
+    // 1 Gbps = 0.125 bytes/ns; 800 ns earns 100 bytes.
+    EXPECT_FALSE(tb.try_consume(nanoseconds(799), 100));
+    EXPECT_TRUE(tb.try_consume(nanoseconds(801), 100));
+}
+
+TEST(TokenBucket, ReadyTimeMatchesDeficit)
+{
+    TokenBucket tb(8.0, 100); // 8 Gbps = 1 byte/ns
+    ASSERT_TRUE(tb.try_consume(0, 100));
+    TimePs ready = tb.ready_time(0, 50);
+    EXPECT_NEAR(to_ns(ready), 50.0, 0.01);
+    EXPECT_TRUE(tb.try_consume(ready, 50));
+}
+
+TEST(TokenBucket, UnlimitedWhenRateZero)
+{
+    TokenBucket tb(0.0, 1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(tb.try_consume(0, 1 << 20));
+    EXPECT_EQ(tb.ready_time(5, 1 << 20), 5u);
+}
+
+TEST(TokenBucket, TokensCappedAtBurst)
+{
+    TokenBucket tb(10.0, 500);
+    // A long idle period must not accumulate more than the burst.
+    EXPECT_TRUE(tb.try_consume(seconds(1), 500));
+    EXPECT_FALSE(tb.try_consume(seconds(1), 1));
+}
+
+TEST(TokenBucket, SustainedRateConverges)
+{
+    // Consume 125 B every 100 ns against a 10 Gbps (1.25 B/ns) budget:
+    // exactly sustainable.
+    TokenBucket tb(10.0, 125);
+    TimePs t = 0;
+    int granted = 0;
+    for (int i = 0; i < 1000; ++i) {
+        t = tb.ready_time(t, 125);
+        if (tb.try_consume(t, 125))
+            ++granted;
+    }
+    EXPECT_EQ(granted, 1000);
+    // 1000 grants of 125 B at 10 Gbps need >= 99900 ns (first is burst).
+    EXPECT_GE(to_ns(t), 99'800.0);
+    EXPECT_LE(to_ns(t), 100'200.0);
+}
+
+} // namespace
+} // namespace fld::sim

@@ -1,0 +1,94 @@
+/** @file Bit-manipulation helper tests. */
+#include "util/bitops.h"
+
+#include <gtest/gtest.h>
+
+namespace fld {
+namespace {
+
+TEST(Bitops, Rotl32)
+{
+    EXPECT_EQ(rotl32(0x80000000u, 1), 1u);
+    EXPECT_EQ(rotl32(0x12345678u, 0), 0x12345678u);
+    EXPECT_EQ(rotl32(0x00000001u, 31), 0x80000000u);
+}
+
+TEST(Bitops, IsPow2)
+{
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(2));
+    EXPECT_FALSE(is_pow2(3));
+    EXPECT_TRUE(is_pow2(uint64_t(1) << 63));
+    EXPECT_FALSE(is_pow2((uint64_t(1) << 63) + 1));
+}
+
+TEST(Bitops, CeilDiv)
+{
+    EXPECT_EQ(ceil_div(10, 3), 4);
+    EXPECT_EQ(ceil_div(9, 3), 3);
+    EXPECT_EQ(ceil_div(1, 100), 1);
+    EXPECT_EQ(ceil_div(0, 7), 0);
+}
+
+TEST(Bitops, AlignUp)
+{
+    EXPECT_EQ(align_up(0, 64), 0u);
+    EXPECT_EQ(align_up(1, 64), 64u);
+    EXPECT_EQ(align_up(64, 64), 64u);
+    EXPECT_EQ(align_up(65, 64), 128u);
+}
+
+TEST(Bitops, RoundUpPow2)
+{
+    EXPECT_EQ(round_up_pow2(0), 1u);
+    EXPECT_EQ(round_up_pow2(1), 1u);
+    EXPECT_EQ(round_up_pow2(2), 2u);
+    EXPECT_EQ(round_up_pow2(3), 4u);
+    EXPECT_EQ(round_up_pow2(1023), 1024u);
+    EXPECT_EQ(round_up_pow2(1024), 1024u);
+    EXPECT_EQ(round_up_pow2(1025), 2048u);
+    // Table 3's f(N_txdesc) = f(1133) = 2048.
+    EXPECT_EQ(round_up_pow2(1133), 2048u);
+}
+
+TEST(Bitops, Log2Exact)
+{
+    EXPECT_EQ(log2_exact(1), 0u);
+    EXPECT_EQ(log2_exact(2), 1u);
+    EXPECT_EQ(log2_exact(4096), 12u);
+}
+
+TEST(Bitops, Bits)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 0, 8), 0xefu);
+    EXPECT_EQ(bits(0xdeadbeef, 8, 8), 0xbeu);
+    EXPECT_EQ(bits(0xdeadbeef, 16, 16), 0xdeadu);
+    EXPECT_EQ(bits(0xffffffffffffffffull, 0, 64), 0xffffffffffffffffull);
+}
+
+TEST(Bitops, LittleEndianRoundTrip)
+{
+    uint8_t buf[8];
+    store_le16(buf, 0x1234);
+    EXPECT_EQ(load_le16(buf), 0x1234);
+    EXPECT_EQ(buf[0], 0x34);
+    store_le32(buf, 0xdeadbeef);
+    EXPECT_EQ(load_le32(buf), 0xdeadbeefu);
+    store_le64(buf, 0x0123456789abcdefull);
+    EXPECT_EQ(load_le64(buf), 0x0123456789abcdefull);
+}
+
+TEST(Bitops, BigEndianRoundTrip)
+{
+    uint8_t buf[4];
+    store_be16(buf, 0xabcd);
+    EXPECT_EQ(buf[0], 0xab);
+    EXPECT_EQ(load_be16(buf), 0xabcd);
+    store_be32(buf, 0x01020304);
+    EXPECT_EQ(buf[0], 0x01);
+    EXPECT_EQ(load_be32(buf), 0x01020304u);
+}
+
+} // namespace
+} // namespace fld

@@ -1,0 +1,61 @@
+/** @file Text table rendering tests. */
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace fld {
+namespace {
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"x", "1"});
+    t.row({"longer", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name    value"), std::string::npos);
+    EXPECT_NE(out.find("x       1"), std::string::npos);
+    EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+TEST(TextTable, HeaderRule)
+{
+    TextTable t;
+    t.header({"ab", "cd"});
+    t.row({"1", "2"});
+    std::string out = t.render();
+    // Rule line of dashes under the header.
+    EXPECT_NE(out.find("------"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorRow)
+{
+    TextTable t;
+    t.header({"a"});
+    t.row({"1"});
+    t.separator();
+    t.row({"2"});
+    std::string out = t.render();
+    size_t first_rule = out.find('-');
+    size_t second_rule = out.find('-', out.find('1'));
+    EXPECT_NE(first_rule, std::string::npos);
+    EXPECT_NE(second_rule, std::string::npos);
+}
+
+TEST(TextTable, ShortRowsTolerated)
+{
+    TextTable t;
+    t.header({"a", "b", "c"});
+    t.row({"only"});
+    EXPECT_NE(t.render().find("only"), std::string::npos);
+}
+
+TEST(TextTable, NoHeader)
+{
+    TextTable t;
+    t.row({"x", "y"});
+    EXPECT_EQ(t.render(), "x  y\n");
+}
+
+} // namespace
+} // namespace fld
