@@ -32,6 +32,8 @@ Accelerator::on_rx(core::StreamPacket&& pkt)
     }
 
     sim::TimePs start = std::max(eq_.now(), unit_busy_until_[best]);
+    if (faults_ && fault_cfg_.enabled())
+        start += faults_->next_accel_stall(fault_cfg_);
     sim::TimePs done = start + service_time_for(pkt);
     unit_busy_until_[best] = done;
     unit_queued_[best]++;

@@ -20,6 +20,7 @@
 
 #include "fld/flexdriver.h"
 #include "sim/event_queue.h"
+#include "sim/fault.h"
 
 namespace fld::accel {
 
@@ -67,6 +68,20 @@ class Accelerator
      */
     void inject(core::StreamPacket&& pkt) { on_rx(std::move(pkt)); }
 
+    /**
+     * Attach a fault plan: units occasionally stall (pipeline flush,
+     * clock-domain hiccup) before serving a packet, inflating service
+     * time. Backlog builds exactly as real transient back-pressure
+     * would — and, past queue_depth, becomes drops, since §5.5 forbids
+     * backpressuring FLD. Null plan / zero knobs = no behaviour change.
+     */
+    void set_fault_plan(sim::FaultPlan* plan,
+                        const sim::AccelFaultConfig& cfg)
+    {
+        faults_ = plan;
+        fault_cfg_ = cfg;
+    }
+
   protected:
     /**
      * Workload logic: runs after a unit finishes the packet's service
@@ -103,6 +118,8 @@ class Accelerator
   private:
     std::vector<sim::TimePs> unit_busy_until_;
     std::vector<uint32_t> unit_queued_;
+    sim::FaultPlan* faults_ = nullptr;
+    sim::AccelFaultConfig fault_cfg_;
 };
 
 } // namespace fld::accel

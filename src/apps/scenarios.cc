@@ -54,6 +54,9 @@ make_fld_echo(bool remote, PktGenConfig gen_cfg, TestbedConfig tb_cfg)
     s->q0 = tb.rt->create_eth_queue(tb.fld_vport, 0, /*rx_buffers=*/16);
     s->echo = std::make_unique<accel::EchoAccelerator>(tb.eq, *tb.fld,
                                                        0);
+    if (tb.fault_plan)
+        s->echo->set_fault_plan(tb.fault_plan.get(),
+                                tb.cfg.accel_faults);
 
     if (remote) {
         // Generator on the client node.
@@ -238,6 +241,9 @@ make_fldr_echo(bool remote, TestbedConfig tb_cfg)
     auto s = make_fldr_base(remote, tb_cfg);
     s->afu = std::make_unique<accel::EchoAccelerator>(
         s->tb->eq, *s->tb->fld, 0);
+    if (s->tb->fault_plan)
+        s->afu->set_fault_plan(s->tb->fault_plan.get(),
+                               s->tb->cfg.accel_faults);
     s->tb->eq.run();
     return s;
 }
@@ -248,6 +254,9 @@ make_fldr_zuc(bool remote, TestbedConfig tb_cfg)
     auto s = make_fldr_base(remote, tb_cfg);
     s->afu = std::make_unique<accel::ZucAccelerator>(s->tb->eq,
                                                      *s->tb->fld, 0);
+    if (s->tb->fault_plan)
+        s->afu->set_fault_plan(s->tb->fault_plan.get(),
+                               s->tb->cfg.accel_faults);
     s->tb->eq.run();
     return s;
 }
@@ -319,6 +328,9 @@ make_defrag(const DefragOptions& opt, TestbedConfig tb_cfg)
             tb.rt->create_eth_queue(tb.fld_vport, 0, /*rx_buffers=*/16);
         s->defrag = std::make_unique<accel::DefragAccelerator>(
             tb.eq, *tb.fld, 0);
+        if (tb.fault_plan)
+            s->defrag->set_fault_plan(tb.fault_plan.get(),
+                                      tb.cfg.accel_faults);
         nic::FlowMatch frag;
         if (!opt.vxlan)
             frag.in_vport = nic::kUplinkVport;
@@ -364,6 +376,9 @@ make_iot(const IotOptions& opt, TestbedConfig tb_cfg)
     }
     s->auth = std::make_unique<accel::IotAuthAccelerator>(
         tb.eq, *tb.fld, 0, model);
+    if (tb.fault_plan)
+        s->auth->set_fault_plan(tb.fault_plan.get(),
+                                tb.cfg.accel_faults);
 
     // Server application behind the AFU.
     driver::CpuDriverConfig rcfg;

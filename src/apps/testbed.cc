@@ -3,7 +3,7 @@
 namespace fld::apps {
 
 Testbed::Testbed(TestbedConfig cfg_in)
-    : cfg(cfg_in),
+    : fabric(eq, cfg_in.tlp), cfg(cfg_in),
       server_host("server", eq, cfg_in.server_host),
       client_host("client", eq, cfg_in.client_host),
       server_arena_next_(0x1000), client_arena_next_(0x1000)
@@ -54,6 +54,18 @@ Testbed::Testbed(TestbedConfig cfg_in)
         wire = std::make_unique<nic::EthernetLink>(
             eq, server_nic->uplink(), client_nic->uplink(),
             cfg.nic.port_gbps, cfg.nic.wire_latency);
+    }
+
+    // --- fault plan (opt-in) ---
+    // One seeded plan serves every fault site so a single
+    // TestbedConfig seed reproduces the whole run. Left null when all
+    // knobs are zero: no RNG exists, and timing is bit-identical.
+    sim::FaultConfig fc = cfg.fault_config();
+    if (fc.enabled()) {
+        fault_plan = std::make_unique<sim::FaultPlan>(fc);
+        fabric.set_fault_plan(fault_plan.get());
+        if (wire)
+            wire->set_fault_plan(fault_plan.get(), fc.wire);
     }
 }
 

@@ -20,6 +20,7 @@
 #include "pcie/fabric.h"
 #include "runtime/fld_runtime.h"
 #include "sim/event_queue.h"
+#include "sim/fault.h"
 
 namespace fld::apps {
 
@@ -35,6 +36,25 @@ struct TestbedConfig
      *  enough to feed both the host and the FPGA 50 Gbps links. */
     double nic_internal_gbps = 110.0;
     sim::TimePs pcie_latency = sim::nanoseconds(100);
+
+    /** TLP sizing plus opt-in PCIe fault knobs (tlp.faults). */
+    pcie::TlpParams tlp;
+    /** Seed for the testbed-wide fault plan (unused with no faults). */
+    uint64_t fault_seed = 1;
+    /** Opt-in accelerator back-pressure faults; scenarios attach the
+     *  plan to the AFUs they build. */
+    sim::AccelFaultConfig accel_faults;
+
+    /** All fault knobs (wire + PCIe + accel) gathered into one view. */
+    sim::FaultConfig fault_config() const
+    {
+        sim::FaultConfig fc;
+        fc.seed = fault_seed;
+        fc.wire = nic.wire_faults;
+        fc.pcie = tlp.faults;
+        fc.accel = accel_faults;
+        return fc;
+    }
 };
 
 /** Well-known MACs of the two nodes. */
@@ -57,6 +77,10 @@ class Testbed
     sim::EventQueue eq;
     pcie::PcieFabric fabric{eq};
     TestbedConfig cfg;
+
+    /** Created only when any fault knob is set (null otherwise, so a
+     *  default testbed stays bit-identical to pre-fault builds). */
+    std::unique_ptr<sim::FaultPlan> fault_plan;
 
     // Server node (Innova-2: ConnectX-5-like NIC + FLD on one card).
     pcie::MemoryEndpoint server_mem{"server.mem", kMemBytes};

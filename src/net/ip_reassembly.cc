@@ -91,15 +91,19 @@ IpReassembler::push(const Packet& pkt)
         ctx.payload.resize(end);
         ctx.present.resize(end, false);
     }
+    bool overlapped = false;
     for (size_t i = 0; i < frag_payload; ++i) {
         if (ctx.present[start + i]) {
-            ++stats_.overlaps;
+            overlapped = true;
             continue; // first writer wins
         }
         ctx.payload[start + i] = p[pp.l3_offset + ihl + i];
         ctx.present[start + i] = true;
         ++ctx.received;
     }
+    if (overlapped)
+        ++stats_.overlaps; // one count per overlapping fragment
+
     if (!pp.ipv4->more_fragments)
         ctx.total_len = end;
 

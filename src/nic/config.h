@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "sim/fault.h"
 #include "sim/time.h"
 
 namespace fld::nic {
@@ -74,6 +75,14 @@ struct NicConfig
      */
     bool cqe_compression = false;
     sim::TimePs cqe_coalesce_window = sim::nanoseconds(400);
+
+    /**
+     * Opt-in Ethernet wire fault knobs (loss/corruption/duplication/
+     * reorder); active only when the testbed attaches a
+     * sim::FaultPlan to the link. All-zero defaults leave the wire
+     * perfect and the simulation bit-identical.
+     */
+    sim::WireFaultConfig wire_faults;
 };
 
 } // namespace fld::nic

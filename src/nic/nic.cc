@@ -1011,10 +1011,21 @@ NicDevice::rdma_rx(VportId vport, net::Packet&& pkt)
         return;
     }
 
-    // Strict in-order RC receive; anything else is dropped and
-    // recovered by the sender's go-back-N timer.
-    if (hdr.psn != qp.expected_psn)
+    // Strict in-order RC receive. A duplicate (below-window PSN) means
+    // our ACK was lost or the sender's timer fired spuriously: it must
+    // be re-ACKed, or a sender whose ACKs all got dropped would
+    // retransmit delivered data forever. Future PSNs (a gap) are
+    // dropped silently and recovered by the sender's go-back-N timer.
+    if (hdr.psn != qp.expected_psn) {
+        int32_t delta = int32_t(hdr.psn - qp.expected_psn);
+        if (delta < 0) {
+            stats_.rdma_dup_psn++;
+            rdma_send_ack(qp);
+        } else {
+            stats_.rdma_out_of_order++;
+        }
         return;
+    }
 
     bool first = hdr.opcode == RdmaOpcode::SendFirst ||
                  hdr.opcode == RdmaOpcode::SendOnly;

@@ -113,6 +113,8 @@ struct NicStats
     uint64_t drops_no_rule = 0;
     uint64_t rdma_retransmits = 0;
     uint64_t rdma_acks = 0;
+    uint64_t rdma_dup_psn = 0;    ///< duplicate data packets re-ACKed
+    uint64_t rdma_out_of_order = 0; ///< future-PSN packets dropped
 };
 
 class NicDevice : public pcie::PcieEndpoint

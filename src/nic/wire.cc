@@ -13,6 +13,15 @@ EthernetLink::EthernetLink(sim::EventQueue& eq, NetPort& a, NetPort& b,
 }
 
 void
+EthernetLink::deliver_at(sim::TimePs when, NetPort& dst,
+                         net::Packet&& pkt)
+{
+    eq_.schedule_at(when, [&dst, pkt = std::move(pkt)]() mutable {
+        dst.deliver(std::move(pkt));
+    });
+}
+
+void
 EthernetLink::connect(NetPort& src, NetPort& dst, sim::TimePs& busy_until,
                       sim::RateMeter& meter)
 {
@@ -22,10 +31,34 @@ EthernetLink::connect(NetPort& src, NetPort& dst, sim::TimePs& busy_until,
         sim::TimePs start = std::max(eq_.now(), busy_until);
         busy_until = start + sim::serialize_time(wire_bytes, gbps_);
         meter.record(busy_until, pkt.size());
-        eq_.schedule_at(busy_until + latency_,
-                        [&dst, pkt = std::move(pkt)]() mutable {
-                            dst.deliver(std::move(pkt));
-                        });
+        sim::TimePs arrival = busy_until + latency_;
+
+        if (faults_ && fault_cfg_.enabled()) {
+            switch (faults_->next_wire_fault(fault_cfg_)) {
+              case sim::WireFault::Drop:
+                return; // serialized, then lost on the wire
+              case sim::WireFault::Corrupt:
+                // Damage the frame; the receiving MAC's FCS check
+                // discards it, so it never reaches the NIC pipeline.
+                faults_->corrupt_bytes(pkt.bytes(), pkt.size());
+                return;
+              case sim::WireFault::Duplicate: {
+                net::Packet copy = pkt;
+                // The duplicate serializes right behind the original.
+                busy_until +=
+                    sim::serialize_time(wire_bytes, gbps_);
+                deliver_at(busy_until + latency_, dst,
+                           std::move(copy));
+                break;
+              }
+              case sim::WireFault::Reorder:
+                arrival += faults_->next_reorder_delay(fault_cfg_);
+                break;
+              case sim::WireFault::None:
+                break;
+            }
+        }
+        deliver_at(arrival, dst, std::move(pkt));
     });
 }
 

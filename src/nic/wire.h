@@ -16,6 +16,7 @@
 #include "net/packet.h"
 #include "nic/config.h"
 #include "sim/event_queue.h"
+#include "sim/fault.h"
 #include "sim/stats.h"
 
 namespace fld::nic {
@@ -72,9 +73,25 @@ class EthernetLink
         return meters_[direction];
     }
 
+    /**
+     * Attach a fault plan (see sim/fault.h). Faulted frames still pay
+     * serialization — loss happens *on* the wire, not before it — so
+     * bandwidth accounting is unperturbed. NetPort-level behaviour:
+     * corrupted frames are discarded at delivery, modeling the
+     * receiving MAC's FCS check. A null plan or all-zero config
+     * restores the fault-free wire bit-exactly.
+     */
+    void set_fault_plan(sim::FaultPlan* plan,
+                        const sim::WireFaultConfig& cfg)
+    {
+        faults_ = plan;
+        fault_cfg_ = cfg;
+    }
+
   private:
     void connect(NetPort& src, NetPort& dst, sim::TimePs& busy_until,
                  sim::RateMeter& meter);
+    void deliver_at(sim::TimePs when, NetPort& dst, net::Packet&& pkt);
 
     sim::EventQueue& eq_;
     double gbps_;
@@ -82,6 +99,8 @@ class EthernetLink
     sim::TimePs busy_a_to_b_ = 0;
     sim::TimePs busy_b_to_a_ = 0;
     sim::RateMeter meters_[2];
+    sim::FaultPlan* faults_ = nullptr;
+    sim::WireFaultConfig fault_cfg_;
 };
 
 } // namespace fld::nic

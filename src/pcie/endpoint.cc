@@ -20,7 +20,8 @@ void
 MemoryEndpoint::bar_write(uint64_t addr, const uint8_t* data, size_t len)
 {
     ensure(addr + len);
-    std::memcpy(mem_.data() + addr, data, len);
+    if (len > 0)
+        std::memcpy(mem_.data() + addr, data, len);
     for (const auto& w : watches_) {
         if (addr < w.base + w.size && w.base < addr + len)
             w.fn(addr, len);
@@ -37,7 +38,8 @@ void
 MemoryEndpoint::bar_read(uint64_t addr, uint8_t* out, size_t len)
 {
     ensure(addr + len);
-    std::memcpy(out, mem_.data() + addr, len);
+    if (len > 0)
+        std::memcpy(out, mem_.data() + addr, len);
 }
 
 uint8_t*

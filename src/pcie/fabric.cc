@@ -77,6 +77,16 @@ PcieFabric::write(PortId from, uint64_t addr, std::vector<uint8_t> data,
                               dst.gbps, wire) + dst.latency;
     }
 
+    // Fault injection: MMIO-sized posted writes (doorbells) may be
+    // delivered late. Ordering within the port is preserved by the
+    // event queue only for equal timestamps, so jitter can reorder a
+    // doorbell behind a later one — exactly the hazard drivers must
+    // tolerate (producer indices are cumulative, so a stale doorbell
+    // is harmless).
+    if (faults_)
+        delivered +=
+            faults_->next_doorbell_jitter(tlp_.faults, data.size());
+
     uint64_t bar_off = addr - m.base;
     PcieEndpoint* ep = m.ep;
     eq_.schedule_at(delivered,
@@ -142,6 +152,21 @@ PcieFabric::read(PortId from, uint64_t addr, size_t len, OnReadData done)
                                       srcp->ingress_busy_until,
                                       srcp->gbps, cpl_wire) +
                             srcp->latency;
+            }
+            // Fault injection: the completion may be delayed (switch
+            // congestion) or stalled outright (retried TLP). The data
+            // is unchanged — PCIe completions are reliable — only
+            // late. Completions to one requester stay FIFO (a stalled
+            // TLP head-of-line blocks the ones behind it), preserving
+            // the in-order delivery the NIC's pipelined descriptor
+            // DMA depends on.
+            if (faults_ && (tlp_.faults.read_delay_prob > 0 ||
+                            tlp_.faults.read_stall_prob > 0)) {
+                delivered +=
+                    faults_->next_read_completion_delay(tlp_.faults);
+                delivered =
+                    std::max(delivered, srcp->cpl_order_floor);
+                srcp->cpl_order_floor = delivered;
             }
             eq_.schedule_at(delivered,
                             [data = std::move(data),

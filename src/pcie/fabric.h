@@ -22,6 +22,7 @@
 #include "pcie/endpoint.h"
 #include "pcie/tlp.h"
 #include "sim/event_queue.h"
+#include "sim/fault.h"
 
 namespace fld::pcie {
 
@@ -73,6 +74,14 @@ class PcieFabric
     void read(PortId from, uint64_t addr, size_t len, OnReadData done);
 
     const TlpParams& tlp() const { return tlp_; }
+
+    /**
+     * Attach a fault plan. Fault behaviour follows tlp().faults:
+     * read completions may be delayed or stalled, doorbell-sized
+     * posted writes may be delivered with jitter. With a null plan or
+     * all-zero knobs the fabric's timing is bit-identical to before.
+     */
+    void set_fault_plan(sim::FaultPlan* plan) { faults_ = plan; }
     const PortStats& stats(PortId port) const
     {
         return ports_[port]->stats;
@@ -87,6 +96,9 @@ class PcieFabric
         sim::TimePs latency;
         sim::TimePs egress_busy_until = 0;
         sim::TimePs ingress_busy_until = 0;
+        /// Fault mode only: completions to this requester are kept
+        /// FIFO; a delayed completion drags later ones behind it.
+        sim::TimePs cpl_order_floor = 0;
         PortStats stats;
     };
     struct Mapping
@@ -108,6 +120,7 @@ class PcieFabric
 
     sim::EventQueue& eq_;
     TlpParams tlp_;
+    sim::FaultPlan* faults_ = nullptr;
     std::vector<std::unique_ptr<Port>> ports_;
     std::vector<Mapping> map_;
 };

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "sim/fault.h"
 #include "util/bitops.h"
 
 namespace fld::pcie {
@@ -30,6 +31,10 @@ struct TlpParams
     uint32_t mrrs = 512;      ///< max read request size (bytes)
     uint32_t hdr = 24;        ///< per-TLP overhead incl. framing (bytes)
     uint32_t read_req = 24;   ///< memory-read request TLP size (bytes)
+
+    /** Opt-in fabric fault knobs (all-zero defaults = perfect fabric);
+     *  active only when a sim::FaultPlan is attached to the fabric. */
+    sim::PcieFaultConfig faults;
 
     /** Number of TLPs needed to write @p len bytes. */
     uint32_t write_tlps(uint64_t len) const

@@ -1,0 +1,92 @@
+#include "sim/fault.h"
+
+namespace fld::sim {
+
+/*
+ * Draw order is part of the reproducible contract: each frame draws
+ * at most one verdict chain (drop, then corrupt, then duplicate, then
+ * reorder), and every draw is skipped when its probability is zero.
+ * That way a config that only sets drop_prob consumes exactly one
+ * draw per frame regardless of the other knobs' defaults.
+ */
+WireFault
+FaultPlan::next_wire_fault(const WireFaultConfig& cfg)
+{
+    counters_.wire_frames++;
+    if (chance(cfg.drop_prob)) {
+        counters_.wire_drops++;
+        return WireFault::Drop;
+    }
+    if (chance(cfg.corrupt_prob)) {
+        counters_.wire_corruptions++;
+        return WireFault::Corrupt;
+    }
+    if (chance(cfg.duplicate_prob)) {
+        counters_.wire_duplicates++;
+        return WireFault::Duplicate;
+    }
+    if (chance(cfg.reorder_prob)) {
+        counters_.wire_reorders++;
+        return WireFault::Reorder;
+    }
+    return WireFault::None;
+}
+
+TimePs
+FaultPlan::next_reorder_delay(const WireFaultConfig& cfg)
+{
+    return uniform_delay(cfg.reorder_delay_max);
+}
+
+void
+FaultPlan::corrupt_bytes(uint8_t* data, size_t len)
+{
+    if (len == 0)
+        return;
+    uint64_t bit = rng_.uniform(uint64_t(len) * 8);
+    data[bit / 8] ^= uint8_t(1u << (bit % 8));
+}
+
+TimePs
+FaultPlan::next_read_completion_delay(const PcieFaultConfig& cfg)
+{
+    // Stalls dominate: a stalled completion is already late, so the
+    // short-jitter draw is skipped for it.
+    if (chance(cfg.read_stall_prob)) {
+        counters_.pcie_read_stalls++;
+        return cfg.read_stall_time;
+    }
+    if (chance(cfg.read_delay_prob)) {
+        counters_.pcie_read_delays++;
+        return uniform_delay(cfg.read_delay_max);
+    }
+    return 0;
+}
+
+TimePs
+FaultPlan::next_doorbell_jitter(const PcieFaultConfig& cfg, size_t len)
+{
+    if (len > cfg.doorbell_max_bytes)
+        return 0;
+    if (!chance(cfg.doorbell_jitter_prob))
+        return 0;
+    counters_.pcie_doorbell_jitters++;
+    return uniform_delay(cfg.doorbell_jitter_max);
+}
+
+TimePs
+FaultPlan::next_accel_stall(const AccelFaultConfig& cfg)
+{
+    if (!chance(cfg.stall_prob))
+        return 0;
+    counters_.accel_stalls++;
+    return cfg.stall_time;
+}
+
+TimePs
+FaultPlan::uniform_delay(TimePs max)
+{
+    return max <= 1 ? 1 : 1 + rng_.uniform(max);
+}
+
+} // namespace fld::sim

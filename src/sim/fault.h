@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulated substrate.
+ *
+ * The paper's reliability story rests on mechanisms — the NIC's RC
+ * go-back-N retransmission (§5), control-plane error recovery (§5.3),
+ * bounded accelerator queues (§5.5) — that a perfect-world simulation
+ * never exercises. A FaultPlan is a seeded source of fault decisions
+ * that the substrate's components consult at well-defined points:
+ *
+ *  - the Ethernet wire (nic/wire): per-frame loss, corruption
+ *    (dropped by the receiving MAC's FCS check), duplication and
+ *    reordering;
+ *  - the PCIe fabric (pcie/fabric): delayed or stalled read
+ *    completions and doorbell-write delivery jitter;
+ *  - accelerators (accel): transient per-unit back-pressure stalls.
+ *
+ * All knobs default to "off" (probability 0). A FaultPlan with
+ * default configs draws *nothing* from its RNG, so attaching one is
+ * bit-identical to not attaching one — calibrated benches are never
+ * perturbed. Decisions are drawn from one explicitly seeded Rng in
+ * event-execution order, which the deterministic event queue makes
+ * reproducible run-to-run: the same seed yields the same faults.
+ */
+#ifndef FLD_SIM_FAULT_H
+#define FLD_SIM_FAULT_H
+
+#include <cstdint>
+
+#include "sim/stats.h"
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace fld::sim {
+
+/** Per-frame Ethernet wire faults (applied by EthernetLink). */
+struct WireFaultConfig
+{
+    double drop_prob = 0.0;      ///< frame vanishes on the wire
+    double corrupt_prob = 0.0;   ///< payload flips; receiver FCS drops
+    double duplicate_prob = 0.0; ///< frame delivered twice
+    double reorder_prob = 0.0;   ///< frame held back, lands late
+    /** Extra delay of a reordered frame, uniform in [1, max]. */
+    TimePs reorder_delay_max = microseconds(5);
+
+    bool enabled() const
+    {
+        return drop_prob > 0 || corrupt_prob > 0 || duplicate_prob > 0 ||
+               reorder_prob > 0;
+    }
+};
+
+/** PCIe fabric faults (applied by PcieFabric). */
+struct PcieFaultConfig
+{
+    /** Split-completion jitter: extra delay uniform in [1, max]. */
+    double read_delay_prob = 0.0;
+    TimePs read_delay_max = microseconds(2);
+    /** Rare long stalls (e.g. a congested switch or retried TLP). */
+    double read_stall_prob = 0.0;
+    TimePs read_stall_time = microseconds(20);
+    /** Doorbell-write delivery jitter, uniform in [1, max]. Applies
+     *  to posted writes of at most doorbell_max_bytes (MMIO-sized). */
+    double doorbell_jitter_prob = 0.0;
+    TimePs doorbell_jitter_max = microseconds(1);
+    uint32_t doorbell_max_bytes = 8;
+
+    bool enabled() const
+    {
+        return read_delay_prob > 0 || read_stall_prob > 0 ||
+               doorbell_jitter_prob > 0;
+    }
+};
+
+/** Transient accelerator back-pressure (applied by accel::Accelerator). */
+struct AccelFaultConfig
+{
+    /** Per-packet chance the chosen unit stalls before service. */
+    double stall_prob = 0.0;
+    TimePs stall_time = microseconds(5);
+
+    bool enabled() const { return stall_prob > 0; }
+};
+
+/** Everything a testbed needs to describe its fault scenario. */
+struct FaultConfig
+{
+    uint64_t seed = 1;
+    WireFaultConfig wire;
+    PcieFaultConfig pcie;
+    AccelFaultConfig accel;
+
+    bool enabled() const
+    {
+        return wire.enabled() || pcie.enabled() || accel.enabled();
+    }
+};
+
+/** Wire-level verdict for one frame. */
+enum class WireFault : uint8_t {
+    None,
+    Drop,      ///< never delivered
+    Corrupt,   ///< delivered bytes damaged; receiver MAC discards
+    Duplicate, ///< delivered twice
+    Reorder,   ///< delivered with extra delay
+};
+
+/**
+ * One seeded decision stream shared by every fault source of a
+ * testbed. Components hold a non-owning pointer and pass their own
+ * config on each query; a null plan or an all-zero config short-
+ * circuits without touching the RNG.
+ */
+class FaultPlan
+{
+  public:
+    explicit FaultPlan(uint64_t seed) : rng_(seed) {}
+    explicit FaultPlan(const FaultConfig& cfg)
+        : rng_(cfg.seed), cfg_(cfg)
+    {}
+
+    /** The config this plan was built from (wiring convenience). */
+    const FaultConfig& config() const { return cfg_; }
+
+    // ---- wire -------------------------------------------------------
+    /** Draw the fate of one frame. Counters are bumped here. */
+    WireFault next_wire_fault(const WireFaultConfig& cfg);
+    /** Extra delivery delay for a Reorder verdict. */
+    TimePs next_reorder_delay(const WireFaultConfig& cfg);
+    /** Flip one random bit of a corrupted frame in place. */
+    void corrupt_bytes(uint8_t* data, size_t len);
+
+    // ---- pcie -------------------------------------------------------
+    /** Extra read-completion delay (0 = fault-free). */
+    TimePs next_read_completion_delay(const PcieFaultConfig& cfg);
+    /** Extra doorbell delivery delay for a write of @p len bytes. */
+    TimePs next_doorbell_jitter(const PcieFaultConfig& cfg, size_t len);
+
+    // ---- accel ------------------------------------------------------
+    /** Extra unit busy time before serving a packet (0 = none). */
+    TimePs next_accel_stall(const AccelFaultConfig& cfg);
+
+    const FaultCounters& counters() const { return counters_; }
+
+  private:
+    /** Bernoulli draw that skips the RNG entirely at p == 0. */
+    bool chance(double p) { return p > 0 && rng_.chance(p); }
+    /** Uniform in [1, max] (max >= 1). */
+    TimePs uniform_delay(TimePs max);
+
+    Rng rng_;
+    FaultConfig cfg_;
+    FaultCounters counters_;
+};
+
+} // namespace fld::sim
+
+#endif // FLD_SIM_FAULT_H

@@ -80,6 +80,23 @@ Histogram::summary() const
                   percentile(99.9), max());
 }
 
+std::string
+FaultCounters::summary() const
+{
+    return strfmt("wire: frames=%llu drop=%llu corrupt=%llu dup=%llu "
+                  "reorder=%llu | pcie: rd_delay=%llu rd_stall=%llu "
+                  "db_jitter=%llu | accel: stall=%llu",
+                  (unsigned long long)wire_frames,
+                  (unsigned long long)wire_drops,
+                  (unsigned long long)wire_corruptions,
+                  (unsigned long long)wire_duplicates,
+                  (unsigned long long)wire_reorders,
+                  (unsigned long long)pcie_read_delays,
+                  (unsigned long long)pcie_read_stalls,
+                  (unsigned long long)pcie_doorbell_jitters,
+                  (unsigned long long)accel_stalls);
+}
+
 void
 Histogram::ensure_sorted() const
 {

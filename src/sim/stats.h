@@ -51,6 +51,41 @@ class Histogram
     double sum_sq_ = 0;
 };
 
+/**
+ * Per-fault-source event counters, filled in by sim::FaultPlan as
+ * injection decisions are drawn. Reliability tests assert recovery
+ * behaviour (retransmits, deliveries) against these exact counts.
+ */
+struct FaultCounters
+{
+    // Ethernet wire (per frame).
+    uint64_t wire_frames = 0;     ///< frames that consulted the plan
+    uint64_t wire_drops = 0;
+    uint64_t wire_corruptions = 0;
+    uint64_t wire_duplicates = 0;
+    uint64_t wire_reorders = 0;
+    // PCIe fabric.
+    uint64_t pcie_read_delays = 0;
+    uint64_t pcie_read_stalls = 0;
+    uint64_t pcie_doorbell_jitters = 0;
+    // Accelerator units.
+    uint64_t accel_stalls = 0;
+
+    uint64_t wire_faults() const
+    {
+        return wire_drops + wire_corruptions + wire_duplicates +
+               wire_reorders;
+    }
+    uint64_t total() const
+    {
+        return wire_faults() + pcie_read_delays + pcie_read_stalls +
+               pcie_doorbell_jitters + accel_stalls;
+    }
+
+    /** "wire: drop=... corrupt=... | pcie: ... | accel: ..." line. */
+    std::string summary() const;
+};
+
 /** Accumulates bytes/packets over simulated time and reports rates. */
 class RateMeter
 {

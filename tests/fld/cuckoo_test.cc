@@ -5,6 +5,8 @@
 
 #include <map>
 #include <set>
+#include <unordered_map>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -119,6 +121,129 @@ TEST(Cuckoo, MemoryBytesMatchesPaperScale)
     // ~15.5 KiB; our 4 B/slot accounting gives 16 KiB + stash.
     CuckooTable t(2048);
     EXPECT_NEAR(double(t.memory_bytes()), 15.5 * 1024, 1024.0);
+}
+
+/**
+ * Property-style churn against a std::unordered_map oracle: after any
+ * prefix of a random insert/erase/lookup trace, the table and the
+ * oracle must agree on membership, values, and size. insert() is
+ * allowed to stall (return false) — in which case the table must be
+ * left unchanged — but may never lie.
+ */
+TEST(CuckooProperty, RandomChurnMatchesOracle)
+{
+    const size_t capacity = 1024;
+    CuckooTable t(capacity);
+    std::unordered_map<uint64_t, uint32_t> oracle;
+    std::vector<uint64_t> live; // oracle keys, for random erase picks
+    fld::Rng rng(2024);
+
+    auto fresh_key = [&] {
+        uint64_t k;
+        do
+            k = rng.next();
+        while (oracle.count(k));
+        return k;
+    };
+    auto check_all = [&] {
+        ASSERT_EQ(t.size(), oracle.size());
+        for (const auto& [k, v] : oracle) {
+            auto got = t.lookup(k);
+            ASSERT_TRUE(got.has_value()) << "key " << k << " lost";
+            ASSERT_EQ(*got, v);
+        }
+        for (int i = 0; i < 16; ++i)
+            ASSERT_FALSE(t.lookup(fresh_key()).has_value());
+    };
+
+    uint64_t stalls = 0;
+    for (int op = 0; op < 30000; ++op) {
+        bool do_insert =
+            oracle.empty() || (!t.full() && rng.uniform(100) < 55);
+        if (do_insert) {
+            uint64_t k = fresh_key();
+            uint32_t v = uint32_t(rng.next());
+            size_t before = t.size();
+            if (t.insert(k, v)) {
+                oracle.emplace(k, v);
+                live.push_back(k);
+            } else {
+                // A stall must be a clean rejection.
+                ++stalls;
+                ASSERT_EQ(t.size(), before);
+                ASSERT_FALSE(t.lookup(k).has_value());
+            }
+        } else {
+            size_t idx = rng.uniform(live.size());
+            uint64_t k = live[idx];
+            ASSERT_TRUE(t.erase(k));
+            ASSERT_FALSE(t.lookup(k).has_value());
+            oracle.erase(k);
+            live[idx] = live.back();
+            live.pop_back();
+        }
+        if (op % 5000 == 4999)
+            check_all();
+    }
+    check_all();
+    // The trace must have actually exercised the interesting paths.
+    EXPECT_GT(t.stats().displacements, 0u);
+    EXPECT_EQ(t.stats().stalls, stalls);
+}
+
+/**
+ * Near-capacity churn: fill the pool completely (the paper's 1/2 load
+ * factor guarantees this converges), then cycle erase+insert at
+ * full() for thousands of rounds. This drives the stash hard — every
+ * insert lands in a nearly-full table — and the oracle must still
+ * match exactly at the end.
+ */
+TEST(CuckooProperty, NearCapacityChurnStaysConsistent)
+{
+    const size_t capacity = 512;
+    CuckooTable t(capacity);
+    std::unordered_map<uint64_t, uint32_t> oracle;
+    std::vector<uint64_t> live;
+    fld::Rng rng(77);
+
+    while (!t.full()) {
+        uint64_t k = rng.next();
+        if (oracle.count(k))
+            continue;
+        uint32_t v = uint32_t(rng.next());
+        ASSERT_TRUE(t.insert(k, v));
+        oracle.emplace(k, v);
+        live.push_back(k);
+    }
+    ASSERT_EQ(t.size(), capacity);
+
+    for (int round = 0; round < 5000; ++round) {
+        size_t idx = rng.uniform(live.size());
+        ASSERT_TRUE(t.erase(live[idx]));
+        oracle.erase(live[idx]);
+        uint64_t k;
+        do
+            k = rng.next();
+        while (oracle.count(k));
+        uint32_t v = uint32_t(round);
+        // At one-below-full the stash may reject; hardware would
+        // retry after the next completion, so retry with a new key.
+        while (!t.insert(k, v)) {
+            do
+                k = rng.next();
+            while (oracle.count(k));
+        }
+        oracle.emplace(k, v);
+        live[idx] = k;
+    }
+
+    ASSERT_EQ(t.size(), oracle.size());
+    for (const auto& [k, v] : oracle) {
+        auto got = t.lookup(k);
+        ASSERT_TRUE(got.has_value());
+        ASSERT_EQ(*got, v);
+    }
+    EXPECT_GT(t.stats().stash_inserts, 0u);
 }
 
 TEST(CuckooDeath, DuplicateKeyIsABug)

@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Reliability tests that actually exercise recovery paths: a seeded
+ * sim::FaultPlan perturbs the Ethernet wire, the PCIe fabric and the
+ * accelerator while the FLD-R echo scenario runs, and the assertions
+ * check the *transport contract* — exactly-once, in-content message
+ * delivery — rather than throughput. A perfect-world simulation never
+ * runs the go-back-N retransmit, duplicate-PSN re-ACK or head-of-line
+ * completion code at all; these tests make those paths load-bearing.
+ */
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/scenarios.h"
+
+namespace fld::apps {
+namespace {
+
+/**
+ * Closed-loop echo exchange over an FLD-R scenario: @p total messages
+ * of @p bytes each, at most @p window outstanding round trips. Each
+ * message carries an id-derived payload so duplicated, reordered or
+ * cross-wired deliveries are detectable by content, not just count.
+ */
+struct EchoRun
+{
+    std::map<uint32_t, uint32_t> copies; ///< msg_id -> deliveries
+    uint64_t bad_payload = 0;
+    sim::TimePs done_at = 0;
+};
+
+std::vector<uint8_t>
+payload_for(uint32_t id, size_t bytes)
+{
+    std::vector<uint8_t> p(bytes);
+    for (size_t i = 0; i < bytes; ++i)
+        p[i] = uint8_t((id * 131u) ^ (i * 7u));
+    return p;
+}
+
+void
+run_echo(FldrScenario& s, EchoRun& r, uint32_t total, size_t bytes,
+         uint32_t window)
+{
+    uint32_t next = 1;
+    auto post_next = [&] {
+        if (next <= total) {
+            ASSERT_TRUE(
+                s.client->post_send(payload_for(next, bytes), next));
+            ++next;
+        }
+    };
+    s.client->set_msg_handler(
+        [&](uint32_t id, std::vector<uint8_t>&& msg) {
+            r.copies[id]++;
+            if (msg != payload_for(id, bytes))
+                r.bad_payload++;
+            r.done_at = s.tb->eq.now();
+            post_next();
+        });
+    for (uint32_t i = 0; i < window && i < total; ++i)
+        post_next();
+    s.tb->eq.run();
+}
+
+/** Every message delivered exactly once, bytes intact. */
+void
+expect_exactly_once(const EchoRun& r, uint32_t total)
+{
+    EXPECT_EQ(r.copies.size(), total);
+    for (uint32_t id = 1; id <= total; ++id) {
+        auto it = r.copies.find(id);
+        ASSERT_NE(it, r.copies.end()) << "message " << id << " lost";
+        EXPECT_EQ(it->second, 1u)
+            << "message " << id << " delivered more than once";
+    }
+    EXPECT_EQ(r.bad_payload, 0u);
+}
+
+TestbedConfig
+lossy(double drop_prob, uint64_t seed = 42)
+{
+    TestbedConfig tb;
+    tb.fault_seed = seed;
+    tb.nic.wire_faults.drop_prob = drop_prob;
+    return tb;
+}
+
+// ---------------------------------------------------------------------
+// Exactly-once RC delivery under loss (1–10%), with the go-back-N
+// retransmit count checked against its analytic bound: every timeout
+// that fires is caused by at least one lost frame (data or ACK), and
+// round trips are far below the 50 us timeout, so
+//     1 <= retransmit events <= frames lost.
+// ---------------------------------------------------------------------
+
+class LossRecovery : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(LossRecovery, ExactlyOnceDeliveryWithBoundedRetransmits)
+{
+    auto s = make_fldr_echo(true, lossy(GetParam()));
+    EchoRun r;
+    run_echo(*s, r, /*total=*/50, /*bytes=*/2048, /*window=*/8);
+    if (::testing::Test::HasFatalFailure())
+        return;
+    expect_exactly_once(r, 50);
+
+    const sim::FaultCounters& fc = s->tb->fault_plan->counters();
+    EXPECT_GT(fc.wire_frames, 100u); // the plan really saw the traffic
+    EXPECT_GT(fc.wire_drops, 0u) << "seed produced no losses: the test "
+                                    "would not exercise recovery";
+
+    uint64_t retransmits = s->tb->server_nic->stats().rdma_retransmits +
+                           s->tb->client_nic->stats().rdma_retransmits;
+    EXPECT_GE(retransmits, 1u);
+    EXPECT_LE(retransmits, fc.wire_drops)
+        << "more timeouts than lost frames: timer is firing spuriously";
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LossRecovery,
+                         ::testing::Values(0.01, 0.05, 0.10));
+
+// ---------------------------------------------------------------------
+// A lost ACK must not livelock the sender: the receiver re-ACKs
+// below-window (duplicate) PSNs, so at 10% loss the duplicate-PSN
+// path is exercised on the wire.
+// ---------------------------------------------------------------------
+
+TEST(LossRecoveryDetail, DuplicateDataIsReAckedNotRedelivered)
+{
+    auto s = make_fldr_echo(true, lossy(0.10));
+    EchoRun r;
+    run_echo(*s, r, 50, 2048, 8);
+    if (::testing::Test::HasFatalFailure())
+        return;
+    expect_exactly_once(r, 50);
+
+    // Go-back-N resends the whole window, so the receiver must have
+    // seen (and re-ACKed) already-delivered PSNs.
+    uint64_t dup_psn = s->tb->server_nic->stats().rdma_dup_psn +
+                       s->tb->client_nic->stats().rdma_dup_psn;
+    EXPECT_GT(dup_psn, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Retransmit timeout scaling: with the same fault seed the frame
+// sequence — and therefore the drop pattern and the retransmit count —
+// is identical whatever the timeout, so completion time differs by
+// exactly (retransmits * delta_timeout).
+// ---------------------------------------------------------------------
+
+TEST(TimeoutScaling, RecoveryLatencyScalesWithConfiguredTimeout)
+{
+    auto run_one = [](sim::TimePs timeout) {
+        TestbedConfig tb = lossy(0.5, /*seed=*/7);
+        tb.nic.rdma_retransmit_timeout = timeout;
+        auto s = make_fldr_echo(true, tb);
+        EchoRun r;
+        run_echo(*s, r, /*total=*/1, /*bytes=*/1024, /*window=*/1);
+        expect_exactly_once(r, 1);
+        uint64_t retrans =
+            s->tb->server_nic->stats().rdma_retransmits +
+            s->tb->client_nic->stats().rdma_retransmits;
+        // Drain time of the whole exchange, including ACK-loss
+        // recovery that happens after the echo already arrived.
+        return std::pair<sim::TimePs, uint64_t>(s->tb->eq.now(),
+                                                retrans);
+    };
+
+    auto [t_short, n_short] = run_one(sim::microseconds(50));
+    auto [t_long, n_long] = run_one(sim::microseconds(200));
+
+    ASSERT_GE(n_short, 1u) << "seed 7 must drop at least one frame of "
+                              "the single exchange";
+    EXPECT_EQ(n_short, n_long)
+        << "same seed, single in-flight exchange: identical drop "
+           "pattern expected";
+    // With one exchange in flight the event sequence is identical in
+    // both runs; only timer expirations move. Recovery latency must
+    // therefore grow by an exact whole multiple of the 150 us delta.
+    sim::TimePs delta_timeout = sim::microseconds(150);
+    sim::TimePs delta = t_long - t_short;
+    EXPECT_GE(delta, delta_timeout);
+    EXPECT_EQ(delta % delta_timeout, 0)
+        << "drain time moved by a non-timeout amount";
+}
+
+// ---------------------------------------------------------------------
+// Corruption: the frame pays wire bandwidth but the receiving MAC
+// discards it — recovery must look exactly like loss.
+// ---------------------------------------------------------------------
+
+TEST(Corruption, CorruptedFramesAreRecovered)
+{
+    TestbedConfig tb;
+    tb.fault_seed = 42;
+    tb.nic.wire_faults.corrupt_prob = 0.05;
+    auto s = make_fldr_echo(true, tb);
+    EchoRun r;
+    run_echo(*s, r, 50, 2048, 8);
+    if (::testing::Test::HasFatalFailure())
+        return;
+    expect_exactly_once(r, 50);
+
+    const sim::FaultCounters& fc = s->tb->fault_plan->counters();
+    EXPECT_GT(fc.wire_corruptions, 0u);
+    EXPECT_EQ(fc.wire_drops, 0u);
+    uint64_t retransmits = s->tb->server_nic->stats().rdma_retransmits +
+                           s->tb->client_nic->stats().rdma_retransmits;
+    EXPECT_GE(retransmits, 1u);
+    EXPECT_LE(retransmits, fc.wire_corruptions);
+}
+
+// ---------------------------------------------------------------------
+// Duplication: RC's PSN gate must drop the copies (re-ACKing them),
+// never delivering a message twice, and without triggering timeouts.
+// ---------------------------------------------------------------------
+
+TEST(Duplication, DuplicatedFramesNeverDeliverTwice)
+{
+    TestbedConfig tb;
+    tb.fault_seed = 42;
+    tb.nic.wire_faults.duplicate_prob = 0.2;
+    auto s = make_fldr_echo(true, tb);
+    EchoRun r;
+    run_echo(*s, r, 50, 2048, 8);
+    if (::testing::Test::HasFatalFailure())
+        return;
+    expect_exactly_once(r, 50);
+
+    EXPECT_GT(s->tb->fault_plan->counters().wire_duplicates, 0u);
+    EXPECT_EQ(s->tb->server_nic->stats().rdma_retransmits +
+                  s->tb->client_nic->stats().rdma_retransmits,
+              0u)
+        << "duplicates alone must not cause timeouts";
+}
+
+// ---------------------------------------------------------------------
+// Reordering: a late frame opens a PSN gap; the strict in-order
+// receiver drops the gap and go-back-N repairs it.
+// ---------------------------------------------------------------------
+
+TEST(Reordering, LateFramesAreToleratedExactlyOnce)
+{
+    TestbedConfig tb;
+    tb.fault_seed = 42;
+    tb.nic.wire_faults.reorder_prob = 0.1;
+    auto s = make_fldr_echo(true, tb);
+    EchoRun r;
+    run_echo(*s, r, 50, 2048, 8);
+    if (::testing::Test::HasFatalFailure())
+        return;
+    expect_exactly_once(r, 50);
+    EXPECT_GT(s->tb->fault_plan->counters().wire_reorders, 0u);
+}
+
+// ---------------------------------------------------------------------
+// PCIe faults: delayed/stalled read completions hit the NIC's
+// pipelined descriptor fetches (kept FIFO per requester), doorbell
+// jitter hits MMIO writes. The transport contract must hold; the
+// perfect wire means no retransmissions should appear.
+// ---------------------------------------------------------------------
+
+TEST(PcieFaults, DelayedAndStalledReadCompletions)
+{
+    TestbedConfig tb;
+    tb.fault_seed = 42;
+    tb.tlp.faults.read_delay_prob = 0.2;
+    tb.tlp.faults.read_stall_prob = 0.01;
+    auto s = make_fldr_echo(true, tb);
+    EchoRun r;
+    run_echo(*s, r, 50, 2048, 8);
+    if (::testing::Test::HasFatalFailure())
+        return;
+    expect_exactly_once(r, 50);
+
+    const sim::FaultCounters& fc = s->tb->fault_plan->counters();
+    EXPECT_GT(fc.pcie_read_delays, 0u);
+    EXPECT_GT(fc.pcie_read_stalls, 0u);
+}
+
+TEST(PcieFaults, DoorbellJitter)
+{
+    TestbedConfig tb;
+    tb.fault_seed = 42;
+    tb.tlp.faults.doorbell_jitter_prob = 0.5;
+    auto s = make_fldr_echo(true, tb);
+    EchoRun r;
+    run_echo(*s, r, 50, 2048, 8);
+    if (::testing::Test::HasFatalFailure())
+        return;
+    expect_exactly_once(r, 50);
+    EXPECT_GT(s->tb->fault_plan->counters().pcie_doorbell_jitters, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Accelerator back-pressure: transient unit stalls delay echoes but —
+// below queue_depth — must not drop or duplicate anything.
+// ---------------------------------------------------------------------
+
+TEST(AccelFaults, TransientStallsDelayButDontDrop)
+{
+    TestbedConfig tb;
+    tb.fault_seed = 42;
+    tb.accel_faults.stall_prob = 0.2;
+    tb.accel_faults.stall_time = sim::microseconds(2);
+    auto s = make_fldr_echo(true, tb);
+    EchoRun r;
+    run_echo(*s, r, 50, 2048, 8);
+    if (::testing::Test::HasFatalFailure())
+        return;
+    expect_exactly_once(r, 50);
+
+    EXPECT_GT(s->tb->fault_plan->counters().accel_stalls, 0u);
+    EXPECT_EQ(s->afu->stats().dropped_overload, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Combined chaos: all fault classes at once. This is the closest the
+// suite gets to the real testbed's bad day, and the contract must
+// still hold bit-for-bit on content.
+// ---------------------------------------------------------------------
+
+TEST(CombinedFaults, EverythingAtOnceStillExactlyOnce)
+{
+    TestbedConfig tb;
+    tb.fault_seed = 1234;
+    tb.nic.wire_faults.drop_prob = 0.02;
+    tb.nic.wire_faults.corrupt_prob = 0.01;
+    tb.nic.wire_faults.duplicate_prob = 0.02;
+    tb.nic.wire_faults.reorder_prob = 0.02;
+    tb.tlp.faults.read_delay_prob = 0.1;
+    tb.tlp.faults.doorbell_jitter_prob = 0.1;
+    tb.accel_faults.stall_prob = 0.05;
+    tb.accel_faults.stall_time = sim::microseconds(1);
+    auto s = make_fldr_echo(true, tb);
+    EchoRun r;
+    run_echo(*s, r, 50, 2048, 8);
+    if (::testing::Test::HasFatalFailure())
+        return;
+    expect_exactly_once(r, 50);
+    EXPECT_GT(s->tb->fault_plan->counters().total(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Same seed -> same run. The whole point of a *plan* over ad-hoc
+// randomness: a failure reproduces exactly.
+// ---------------------------------------------------------------------
+
+TEST(FaultDeterminism, SameSeedSameFaultsSameTiming)
+{
+    auto run_one = [] {
+        auto s = make_fldr_echo(true, lossy(0.05, /*seed=*/99));
+        EchoRun r;
+        run_echo(*s, r, 30, 2048, 8);
+        sim::FaultCounters fc = s->tb->fault_plan->counters();
+        uint64_t retrans = s->tb->server_nic->stats().rdma_retransmits +
+                           s->tb->client_nic->stats().rdma_retransmits;
+        return std::tuple<sim::TimePs, uint64_t, std::string>(
+            r.done_at, retrans, fc.summary());
+    };
+    auto a = run_one();
+    auto b = run_one();
+    EXPECT_EQ(std::get<0>(a), std::get<0>(b));
+    EXPECT_EQ(std::get<1>(a), std::get<1>(b));
+    EXPECT_EQ(std::get<2>(a), std::get<2>(b));
+}
+
+TEST(FaultDeterminism, DifferentSeedsDiverge)
+{
+    auto run_one = [](uint64_t seed) {
+        auto s = make_fldr_echo(true, lossy(0.05, seed));
+        EchoRun r;
+        run_echo(*s, r, 30, 2048, 8);
+        return std::pair<sim::TimePs, std::string>(
+            r.done_at, s->tb->fault_plan->counters().summary());
+    };
+    auto a = run_one(99);
+    auto b = run_one(100);
+    EXPECT_TRUE(a.first != b.first || a.second != b.second)
+        << "different seeds produced identical runs";
+}
+
+// ---------------------------------------------------------------------
+// FLD vs CPU driver under identical fault seeds: recovery (here,
+// tolerance — Ethernet echo has no transport retry) must not be an
+// artifact of which driver runs the far end. Both paths see the same
+// per-frame loss process and must degrade comparably.
+// ---------------------------------------------------------------------
+
+TEST(FldVsCpuEquivalence, SameSeedComparableDegradation)
+{
+    PktGenConfig g;
+    g.frame_size = 512;
+    g.window = 16;
+
+    TestbedConfig tb = lossy(0.02, /*seed=*/5);
+
+    auto fld_ratio = [&] {
+        auto s = make_fld_echo(true, g, tb);
+        s->gen->start(sim::milliseconds(1), sim::milliseconds(3));
+        s->tb->eq.run();
+        EXPECT_GT(s->tb->fault_plan->counters().wire_drops, 0u);
+        return double(s->gen->rx_count()) / double(s->gen->tx_count());
+    }();
+    auto cpu_ratio = [&] {
+        auto s = make_cpu_echo(true, g, tb);
+        s->gen->start(sim::milliseconds(1), sim::milliseconds(3));
+        s->tb->eq.run();
+        EXPECT_GT(s->tb->fault_plan->counters().wire_drops, 0u);
+        return double(s->gen->rx_count()) / double(s->gen->tx_count());
+    }();
+
+    // Both cross the faulty wire twice per round trip: expected
+    // delivery ratio (1 - p)^2 ~ 0.96. Allow generator-tail slack.
+    EXPECT_GT(fld_ratio, 0.90);
+    EXPECT_LT(fld_ratio, 1.0);
+    EXPECT_GT(cpu_ratio, 0.90);
+    EXPECT_LT(cpu_ratio, 1.0);
+    EXPECT_NEAR(fld_ratio, cpu_ratio, 0.05)
+        << "FLD and CPU-driver paths must degrade equivalently under "
+           "the same fault process";
+}
+
+} // namespace
+} // namespace fld::apps

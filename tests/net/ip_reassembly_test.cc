@@ -149,6 +149,89 @@ TEST(IpReassembler, DuplicateFragmentCountsOverlap)
     EXPECT_EQ(done->data, pkt.data);
 }
 
+TEST(IpReassembler, OverlapCountsPerFragmentNotPerByte)
+{
+    // Regression: the overlap counter used to tick once per
+    // overlapping BYTE, so one duplicated 1.5 KB fragment inflated
+    // the stat by ~1500. A duplicate is one overlap event.
+    Packet pkt = make_udp(3000, 21);
+    auto frags = ip_fragment(pkt, 1500);
+    IpReassembler reasm;
+    reasm.push(frags[0]);
+    reasm.push(frags[0]);
+    EXPECT_EQ(reasm.stats().overlaps, 1u);
+    reasm.push(frags[0]);
+    EXPECT_EQ(reasm.stats().overlaps, 2u);
+}
+
+TEST(IpReassembler, PartiallyOverlappingFragmentsFirstWriterWins)
+{
+    // Fragment the same datagram at two different MTUs and feed both
+    // sets: the ranges partially overlap with different boundaries.
+    // Every byte is written first by set A, so the rebuilt datagram
+    // must be byte-exact, and each set-B fragment that intersects a
+    // set-A range counts exactly one overlap.
+    Packet pkt = make_udp(4000, 22);
+    auto a = ip_fragment(pkt, 1500);
+    auto b = ip_fragment(pkt, 900);
+    ASSERT_GT(b.size(), a.size());
+
+    IpReassembler reasm;
+    std::optional<Packet> done;
+    for (auto& f : a)
+        if (auto r = reasm.push(f))
+            done = r;
+    ASSERT_TRUE(done.has_value()) << "set A alone completes";
+    EXPECT_EQ(done->data, pkt.data);
+    EXPECT_EQ(reasm.stats().overlaps, 0u);
+
+    // Replay: set A first (half of it), then all of set B on top.
+    IpReassembler r2;
+    size_t half = a.size() / 2;
+    size_t covered = 0; // bytes covered by the pushed set-A prefix
+    for (size_t i = 0; i < half; ++i) {
+        r2.push(a[i]);
+        covered += parse(a[i]).ipv4->total_len - kIpv4HeaderLen;
+    }
+    uint64_t expect_overlaps = 0;
+    std::optional<Packet> done2;
+    for (auto& f : b) {
+        ParsedPacket pp = parse(f);
+        if (size_t(pp.ipv4->frag_offset) * 8 < covered)
+            ++expect_overlaps;
+        if (auto r = r2.push(f))
+            done2 = r;
+    }
+    ASSERT_TRUE(done2.has_value());
+    EXPECT_EQ(done2->data, pkt.data)
+        << "overlapped bytes must keep the first writer's data";
+    EXPECT_EQ(r2.stats().overlaps, expect_overlaps);
+}
+
+TEST(IpReassembler, CorruptedOverlapDoesNotClobberFirstWriter)
+{
+    // A duplicate with damaged payload bytes must not corrupt the
+    // already-received data (first writer wins is a security property
+    // of reassemblers, not just bookkeeping).
+    Packet pkt = make_udp(3000, 23);
+    auto frags = ip_fragment(pkt, 1500);
+    IpReassembler reasm;
+    reasm.push(frags[0]);
+
+    Packet evil = frags[0];
+    for (size_t i = evil.size() - 64; i < evil.size(); ++i)
+        evil.bytes()[i] ^= 0xff;
+    reasm.push(evil);
+    EXPECT_EQ(reasm.stats().overlaps, 1u);
+
+    std::optional<Packet> done;
+    for (size_t i = 1; i < frags.size(); ++i)
+        if (auto r = reasm.push(frags[i]))
+            done = r;
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(done->data, pkt.data);
+}
+
 TEST(IpReassembler, ContextLimitEvictsOldest)
 {
     IpReassembler reasm(4);
@@ -181,6 +264,82 @@ TEST(IpReassembler, ExpireDropsStaleContexts)
             done = r;
     }
     EXPECT_FALSE(done.has_value());
+}
+
+TEST(IpReassembler, ExpireAgeBoundaryIsExclusive)
+{
+    // expire() drops contexts strictly OLDER than max_age: a context
+    // exactly max_age old must survive, one tick older must not.
+    IpReassembler reasm;
+    reasm.tick(100);
+    Packet pkt = make_udp(3000, 43);
+    auto frags = ip_fragment(pkt, 1500);
+    reasm.push(frags[0]);
+
+    reasm.expire(100 + 500, 500); // age == max_age: keep
+    EXPECT_EQ(reasm.stats().contexts_active, 1u);
+    EXPECT_EQ(reasm.stats().timeouts, 0u);
+
+    reasm.expire(100 + 501, 500); // age > max_age: drop
+    EXPECT_EQ(reasm.stats().contexts_active, 0u);
+    EXPECT_EQ(reasm.stats().timeouts, 1u);
+}
+
+TEST(IpReassembler, ExpireOnlyDropsStaleContextsAmongMany)
+{
+    IpReassembler reasm;
+    Packet old_pkt = make_udp(3000, 44);
+    Packet young_pkt = make_udp(3000, 45);
+    auto old_frags = ip_fragment(old_pkt, 1500);
+    auto young_frags = ip_fragment(young_pkt, 1500);
+
+    reasm.tick(0);
+    reasm.push(old_frags[0]);
+    reasm.tick(900);
+    reasm.push(young_frags[0]);
+
+    reasm.expire(1000, 500); // old is 1000 ticks old, young only 100
+    EXPECT_EQ(reasm.stats().contexts_active, 1u);
+    EXPECT_EQ(reasm.stats().timeouts, 1u);
+
+    // The surviving young context still completes byte-exact.
+    std::optional<Packet> done;
+    for (size_t i = 1; i < young_frags.size(); ++i)
+        if (auto r = reasm.push(young_frags[i]))
+            done = r;
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(done->data, young_pkt.data);
+
+    // The evicted datagram's tail fragments alone cannot complete.
+    std::optional<Packet> ghost;
+    for (size_t i = 1; i < old_frags.size(); ++i)
+        if (auto r = reasm.push(old_frags[i]))
+            ghost = r;
+    EXPECT_FALSE(ghost.has_value());
+}
+
+TEST(IpReassembler, EvictedDatagramRecoversOnFullRetransmit)
+{
+    // After a stale eviction, retransmitting the whole datagram must
+    // reassemble cleanly — eviction may not poison the (src,dst,id)
+    // key for future use.
+    IpReassembler reasm;
+    reasm.tick(0);
+    Packet pkt = make_udp(4000, 46);
+    auto frags = ip_fragment(pkt, 1500);
+    for (size_t i = 0; i + 1 < frags.size(); ++i)
+        reasm.push(frags[i]); // all but the last
+    reasm.expire(1000, 10);
+    ASSERT_EQ(reasm.stats().contexts_active, 0u);
+
+    std::optional<Packet> done;
+    for (auto& f : frags)
+        if (auto r = reasm.push(f))
+            done = r;
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(done->data, pkt.data);
+    EXPECT_EQ(reasm.stats().overlaps, 0u)
+        << "a clean retransmit into a fresh context overlaps nothing";
 }
 
 } // namespace

@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Edge-case tests for the vendor descriptor formats and the two RX
+ * datapath features built on them: mini-CQE compression blocks at
+ * ring-wrap boundaries, and MPRQ stride geometry at the smallest and
+ * largest legal strides.
+ */
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.h"
+#include "net/headers.h"
+#include "nic/nic.h"
+#include "tests/nic/nic_test_fixture.h"
+
+namespace fld::nic {
+namespace {
+
+using namespace fld::nic::testing;
+using net::ipv4_addr;
+
+std::vector<uint8_t> udp_frame(size_t payload_len)
+{
+    std::vector<uint8_t> payload(payload_len);
+    std::iota(payload.begin(), payload.end(), 1);
+    return net::PacketBuilder()
+        .eth({2, 0, 0, 0, 0, 0xaa}, {2, 0, 0, 0, 0, 0xbb})
+        .ipv4(ipv4_addr(10, 0, 0, 1), ipv4_addr(10, 0, 0, 2),
+              net::kIpProtoUdp)
+        .udp(1234, 7777)
+        .payload(payload)
+        .build()
+        .data;
+}
+
+// ---------------------------------------------------------------------
+// Pure format edge cases
+// ---------------------------------------------------------------------
+
+TEST(MiniCqe, RoundTripAtFieldExtremes)
+{
+    MiniCqe m;
+    m.byte_count = 0xffff'ffff;
+    m.stride_index = 0xffff;
+    m.rq_wqe_index = 0xffff;
+    m.flags = 0xff;
+    m.flow_tag = 0xdead'beef;
+    uint8_t buf[kMiniCqeStride];
+    m.encode(buf);
+    MiniCqe d = MiniCqe::decode(buf);
+    EXPECT_EQ(d.byte_count, 0xffff'ffffu);
+    EXPECT_EQ(d.stride_index, 0xffff);
+    EXPECT_EQ(d.rq_wqe_index, 0xffff);
+    EXPECT_EQ(d.flags, 0xff);
+    EXPECT_EQ(d.flow_tag, 0xdead'beefu);
+}
+
+TEST(MiniCqe, TitleCountByteDoesNotCollideWithCqeFields)
+{
+    // flush_cq() ORs the mini count into byte kCqeMiniCountOffset of
+    // the title CQE; Cqe::encode must leave that byte zero (and it
+    // must not be the owner byte, which commits the block).
+    ASSERT_NE(kCqeMiniCountOffset, 63u);
+    Cqe c;
+    c.opcode = CqeOpcode::Rx;
+    c.byte_count = 0xffff'ffff;
+    c.flags = 0xff;
+    c.flow_tag = 0xffff'ffff;
+    c.rss_hash = 0xffff'ffff;
+    c.wqe_counter = 0xffff;
+    c.stride_index = 0xffff;
+    c.rq_wqe_index = 0xffff;
+    c.msg_id = 0xffff'ffff;
+    c.msg_offset = 0xffff'ffff;
+    c.owner = 1;
+    uint8_t buf[kCqeStride];
+    c.encode(buf);
+    EXPECT_EQ(buf[kCqeMiniCountOffset], 0)
+        << "mini-count byte must stay free for block headers";
+}
+
+// ---------------------------------------------------------------------
+// Mini-CQE compression at the CQ ring boundary
+// ---------------------------------------------------------------------
+
+/** One logical completion recovered from the CQ ring. */
+struct Expanded
+{
+    uint32_t slot;
+    uint32_t byte_count;
+    uint16_t stride_index;
+    uint16_t rq_wqe_index;
+    uint8_t owner;
+    bool from_block; ///< came from a compressed block (title or mini)
+};
+
+/** Raw (slot, entry-count) of every write the NIC made to the ring. */
+struct BlockWrite
+{
+    uint32_t start_slot;
+    uint32_t entry_slots; ///< ring slots the write covers, rounded up
+};
+
+/**
+ * Fixture that builds a compression-enabled CQ with a raw watch: the
+ * stock make_cq() watch ignores writes whose length is not exactly
+ * kCqeStride, which is precisely what compressed blocks look like, so
+ * this fixture decodes every write shape itself (the same expansion a
+ * mini-CQE-aware consumer performs).
+ */
+struct CompressedCqBed
+{
+    Testbed tb;
+    NicHarness& h;
+    VportId vport;
+    uint64_t ring = 0;
+    uint32_t entries = 0;
+    uint32_t cqn = 0;
+    NicHarness::Rq rq;
+    std::vector<Expanded> cqes;
+    std::vector<BlockWrite> writes;
+
+    explicit CompressedCqBed(uint32_t cq_entries)
+        : tb(false, [] {
+              NicConfig c;
+              c.cqe_compression = true;
+              return c;
+          }()),
+          h(*tb.a), vport(h.nic->add_vport()), entries(cq_entries)
+    {
+        ring = h.alloc(uint64_t(entries) * kCqeStride);
+        cqn = h.nic->create_cq({ring, entries, /*allow_compression=*/true});
+        h.hostmem.add_watch(
+            ring, uint64_t(entries) * kCqeStride,
+            [this](uint64_t addr, size_t len) { on_write(addr, len); });
+
+        rq = h.make_rq(16, cqn);
+        h.post_rx_buffers(rq, 4, /*strides=*/64, /*stride_shift=*/10);
+        tb.eq.run();
+
+        FlowMatch from_wire;
+        from_wire.in_vport = kUplinkVport;
+        h.nic->add_rule(0, 0, from_wire, {fwd_queue(rq.rqn)});
+    }
+
+    void on_write(uint64_t addr, size_t len)
+    {
+        ASSERT_GE(len, kCqeStride);
+        ASSERT_EQ((len - kCqeStride) % kMiniCqeStride, 0u);
+        ASSERT_EQ((addr - ring) % kCqeStride, 0u);
+        uint32_t slot = uint32_t((addr - ring) / kCqeStride);
+
+        std::vector<uint8_t> buf(len);
+        h.hostmem.bar_read(addr, buf.data(), len);
+        Cqe title = Cqe::decode(buf.data());
+        uint32_t minis = buf[kCqeMiniCountOffset];
+        ASSERT_EQ(kCqeStride + minis * kMiniCqeStride, len)
+            << "mini count byte disagrees with the write length";
+
+        writes.push_back({slot, 1 + minis});
+        cqes.push_back({slot, title.byte_count, title.stride_index,
+                        title.rq_wqe_index, title.owner, minis > 0});
+        for (uint32_t i = 0; i < minis; ++i) {
+            MiniCqe m = MiniCqe::decode(buf.data() + kCqeStride +
+                                        i * kMiniCqeStride);
+            cqes.push_back({slot + 1 + i, m.byte_count, m.stride_index,
+                            m.rq_wqe_index, title.owner, true});
+        }
+    }
+
+    void deliver_burst(int count, size_t payload)
+    {
+        for (int i = 0; i < count; ++i)
+            h.nic->uplink().deliver(net::Packet(udp_frame(payload)));
+        tb.eq.run();
+    }
+};
+
+TEST(CqeCompression, BlockFlushesEarlyAtRingWrapBoundary)
+{
+    // 8-entry CQ. A 3-packet burst leaves the producer index at slot
+    // 3; the next 8-packet burst opens a block at slot 3 which must
+    // flush after 5 entries — a block may never cross the ring end —
+    // and the remaining 3 completions start a fresh block at slot 0
+    // with the owner bit flipped.
+    CompressedCqBed bed(8);
+    bed.deliver_burst(3, 100);
+    ASSERT_EQ(bed.cqes.size(), 3u);
+    bed.deliver_burst(8, 100);
+    ASSERT_EQ(bed.cqes.size(), 11u);
+
+    // No write may extend past the ring end.
+    for (const BlockWrite& w : bed.writes)
+        EXPECT_LE(w.start_slot + w.entry_slots, bed.entries)
+            << "block at slot " << w.start_slot << " crosses the wrap";
+
+    ASSERT_EQ(bed.writes.size(), 3u);
+    EXPECT_EQ(bed.writes[0].start_slot, 0u);
+    EXPECT_EQ(bed.writes[0].entry_slots, 3u);
+    EXPECT_EQ(bed.writes[1].start_slot, 3u);
+    EXPECT_EQ(bed.writes[1].entry_slots, 5u)
+        << "block should flush early instead of wrapping";
+    EXPECT_EQ(bed.writes[2].start_slot, 0u);
+    EXPECT_EQ(bed.writes[2].entry_slots, 3u);
+
+    // Slots are consumed contiguously and the owner/phase bit flips
+    // exactly at the wrap, like uncompressed CQEs.
+    for (size_t i = 0; i < bed.cqes.size(); ++i) {
+        EXPECT_EQ(bed.cqes[i].slot, i % bed.entries);
+        EXPECT_EQ(bed.cqes[i].owner, i < bed.entries ? 1 : 0);
+    }
+}
+
+TEST(CqeCompression, BlockCapsAtTitlePlusSevenMinis)
+{
+    // With plenty of ring to spare, a long back-to-back burst must
+    // still split into blocks of at most 1+7 completions.
+    CompressedCqBed bed(32);
+    bed.deliver_burst(8, 100);
+    ASSERT_EQ(bed.cqes.size(), 8u);
+    ASSERT_EQ(bed.writes.size(), 1u);
+    EXPECT_EQ(bed.writes[0].start_slot, 0u);
+    EXPECT_EQ(bed.writes[0].entry_slots, 1 + kMaxMiniCqes);
+    EXPECT_TRUE(bed.cqes[0].from_block);
+}
+
+TEST(CqeCompression, ExpandedStreamMatchesUncompressedRun)
+{
+    // The compressed ring, once expanded, must carry exactly the same
+    // completion stream (sizes, stride/wqe coordinates, order) as an
+    // uncompressed run of the same traffic.
+    std::vector<size_t> sizes = {64, 200, 1400, 80, 900, 64, 300,
+                                 128, 2000, 77, 500, 1024, 90};
+
+    CompressedCqBed comp(64);
+    for (size_t s : sizes)
+        comp.h.nic->uplink().deliver(net::Packet(udp_frame(s)));
+    comp.tb.eq.run();
+
+    Testbed plain;
+    auto& h = *plain.a;
+    std::vector<Cqe> raw;
+    uint32_t cqn = h.make_cq(64, &raw);
+    auto rq = h.make_rq(16, cqn);
+    h.post_rx_buffers(rq, 4, 64, 10);
+    plain.eq.run();
+    FlowMatch from_wire;
+    from_wire.in_vport = kUplinkVport;
+    h.nic->add_rule(0, 0, from_wire, {fwd_queue(rq.rqn)});
+    for (size_t s : sizes)
+        h.nic->uplink().deliver(net::Packet(udp_frame(s)));
+    plain.eq.run();
+
+    ASSERT_EQ(comp.cqes.size(), sizes.size());
+    ASSERT_EQ(raw.size(), sizes.size());
+    for (size_t i = 0; i < sizes.size(); ++i) {
+        EXPECT_EQ(comp.cqes[i].byte_count, raw[i].byte_count) << i;
+        EXPECT_EQ(comp.cqes[i].stride_index, raw[i].stride_index) << i;
+        EXPECT_EQ(comp.cqes[i].rq_wqe_index, raw[i].rq_wqe_index) << i;
+    }
+    // And compression actually engaged: fewer ring writes than CQEs.
+    EXPECT_LT(comp.writes.size(), sizes.size());
+}
+
+// ---------------------------------------------------------------------
+// MPRQ geometry extremes
+// ---------------------------------------------------------------------
+
+/** Standard one-NIC RX bed with an uncompressed CQ. */
+struct MprqBed
+{
+    Testbed tb;
+    NicHarness& h;
+    std::vector<Cqe> cqes;
+    uint32_t cqn;
+    NicHarness::Rq rq;
+
+    MprqBed(uint32_t buffers, uint16_t strides, uint16_t stride_shift)
+        : h(*tb.a), cqn(h.make_cq(64, &cqes)), rq(h.make_rq(16, cqn))
+    {
+        h.post_rx_buffers(rq, buffers, strides, stride_shift);
+        tb.eq.run();
+        FlowMatch from_wire;
+        from_wire.in_vport = kUplinkVport;
+        h.nic->add_rule(0, 0, from_wire, {fwd_queue(rq.rqn)});
+    }
+
+    void deliver(size_t payload)
+    {
+        h.nic->uplink().deliver(net::Packet(udp_frame(payload)));
+        tb.eq.run();
+    }
+};
+
+TEST(MprqGeometry, SmallestStridePacksByStrideCount)
+{
+    // 64 B strides (the smallest legal MPRQ stride): a frame of N
+    // bytes must consume ceil(N/64) strides, and the next packet must
+    // land exactly that many strides in.
+    MprqBed bed(2, /*strides=*/64, /*stride_shift=*/6);
+    bed.deliver(1400); // frame ~1442 B -> 23 strides
+    bed.deliver(100);
+    ASSERT_EQ(bed.cqes.size(), 2u);
+    EXPECT_EQ(bed.cqes[0].stride_index, 0);
+    EXPECT_EQ(bed.cqes[0].rq_wqe_index, 0);
+    uint32_t needed = (bed.cqes[0].byte_count + 63) / 64;
+    EXPECT_EQ(bed.cqes[1].stride_index, needed);
+    EXPECT_EQ(bed.cqes[1].rq_wqe_index, 0);
+}
+
+TEST(MprqGeometry, SingleStrideBufferHoldsOnePacketEach)
+{
+    // Largest stride: the whole buffer is one stride, so every packet
+    // retires a buffer and the wqe index advances each time.
+    MprqBed bed(4, /*strides=*/1, /*stride_shift=*/12);
+    bed.deliver(100);
+    bed.deliver(2000);
+    bed.deliver(300);
+    ASSERT_EQ(bed.cqes.size(), 3u);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(bed.cqes[i].stride_index, 0) << i;
+        EXPECT_EQ(bed.cqes[i].rq_wqe_index, i) << i;
+    }
+    EXPECT_EQ(bed.h.nic->stats().drops_no_buffer, 0u);
+}
+
+TEST(MprqGeometry, PacketExceedingBufferGeometryIsDropped)
+{
+    // 4 x 64 B strides = 256 B buffers: a 500 B frame can never fit
+    // any posted buffer and must be counted as a no-buffer drop, while
+    // a small frame afterwards still lands (the buffer is not wedged).
+    MprqBed bed(2, /*strides=*/4, /*stride_shift=*/6);
+    bed.deliver(500);
+    EXPECT_EQ(bed.cqes.size(), 0u);
+    EXPECT_EQ(bed.h.nic->stats().drops_no_buffer, 1u);
+    bed.deliver(64);
+    ASSERT_EQ(bed.cqes.size(), 1u);
+    EXPECT_EQ(bed.cqes[0].stride_index, 0);
+}
+
+TEST(MprqGeometry, FragmentationAbandonsPartialBuffer)
+{
+    // 4 x 256 B strides: two ~740 B frames need 3 strides each, so the
+    // second cannot fit the first buffer's single remaining stride —
+    // MPRQ never splits a packet across buffers, so it must skip to
+    // the next buffer at stride 0.
+    MprqBed bed(2, /*strides=*/4, /*stride_shift=*/8);
+    bed.deliver(700);
+    bed.deliver(700);
+    ASSERT_EQ(bed.cqes.size(), 2u);
+    EXPECT_EQ(bed.cqes[0].rq_wqe_index, 0);
+    EXPECT_EQ(bed.cqes[0].stride_index, 0);
+    EXPECT_EQ(bed.cqes[1].rq_wqe_index, 1)
+        << "second packet must abandon the fragmented buffer";
+    EXPECT_EQ(bed.cqes[1].stride_index, 0);
+    EXPECT_EQ(bed.h.nic->stats().drops_no_buffer, 0u);
+}
+
+} // namespace
+} // namespace fld::nic

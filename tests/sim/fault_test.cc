@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the FaultPlan decision stream: determinism, the
+ * zero-probability no-draw guarantee that keeps fault-free runs
+ * bit-identical, counter accounting, and the shape of each decision.
+ */
+#include "sim/fault.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fld::sim {
+namespace {
+
+TEST(FaultPlan, ZeroProbabilityConfigNeverTouchesTheRng)
+{
+    // Two plans, same seed: one consulted with all-zero knobs, one
+    // not consulted at all. If the zero-knob queries drew anything,
+    // the streams would diverge on the next real draw.
+    FaultPlan consulted(123);
+    FaultPlan idle(123);
+
+    WireFaultConfig wire0;
+    PcieFaultConfig pcie0;
+    AccelFaultConfig accel0;
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(consulted.next_wire_fault(wire0), WireFault::None);
+        EXPECT_EQ(consulted.next_read_completion_delay(pcie0), 0);
+        EXPECT_EQ(consulted.next_doorbell_jitter(pcie0, 4), 0);
+        EXPECT_EQ(consulted.next_accel_stall(accel0), 0);
+    }
+    EXPECT_EQ(consulted.counters().total(), 0u);
+    EXPECT_EQ(consulted.counters().wire_frames, 1000u);
+
+    // Now both draw live faults: identical sequences prove the
+    // zero-knob phase was draw-free.
+    WireFaultConfig lossy;
+    lossy.drop_prob = 0.3;
+    lossy.reorder_prob = 0.3;
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(consulted.next_wire_fault(lossy),
+                  idle.next_wire_fault(lossy));
+}
+
+TEST(FaultPlan, SameSeedSameDecisions)
+{
+    WireFaultConfig cfg;
+    cfg.drop_prob = 0.1;
+    cfg.corrupt_prob = 0.1;
+    cfg.duplicate_prob = 0.1;
+    cfg.reorder_prob = 0.1;
+
+    FaultPlan a(7), b(7), c(8);
+    bool any_diff_c = false;
+    for (int i = 0; i < 500; ++i) {
+        WireFault fa = a.next_wire_fault(cfg);
+        EXPECT_EQ(fa, b.next_wire_fault(cfg));
+        any_diff_c |= fa != c.next_wire_fault(cfg);
+    }
+    EXPECT_TRUE(any_diff_c) << "different seeds gave identical streams";
+}
+
+TEST(FaultPlan, CountersMatchVerdicts)
+{
+    WireFaultConfig cfg;
+    cfg.drop_prob = 0.25;
+    cfg.duplicate_prob = 0.25;
+
+    FaultPlan plan(42);
+    uint64_t drops = 0, dups = 0, none = 0;
+    for (int i = 0; i < 2000; ++i) {
+        switch (plan.next_wire_fault(cfg)) {
+          case WireFault::Drop: drops++; break;
+          case WireFault::Duplicate: dups++; break;
+          case WireFault::None: none++; break;
+          default: FAIL() << "verdict for a knob that is off";
+        }
+    }
+    const FaultCounters& fc = plan.counters();
+    EXPECT_EQ(fc.wire_frames, 2000u);
+    EXPECT_EQ(fc.wire_drops, drops);
+    EXPECT_EQ(fc.wire_duplicates, dups);
+    EXPECT_EQ(fc.wire_corruptions, 0u);
+    EXPECT_EQ(fc.wire_faults(), drops + dups);
+    // Rough sanity on rates (binomial, 2000 trials).
+    EXPECT_GT(drops, 350u);
+    EXPECT_LT(drops, 650u);
+    EXPECT_GT(none, 700u);
+}
+
+TEST(FaultPlan, DelaysRespectConfiguredBounds)
+{
+    PcieFaultConfig cfg;
+    cfg.read_delay_prob = 1.0;
+    cfg.read_delay_max = microseconds(2);
+
+    FaultPlan plan(1);
+    for (int i = 0; i < 500; ++i) {
+        TimePs d = plan.next_read_completion_delay(cfg);
+        EXPECT_GE(d, 1);
+        EXPECT_LE(d, microseconds(2));
+    }
+
+    PcieFaultConfig stall;
+    stall.read_stall_prob = 1.0;
+    stall.read_stall_time = microseconds(20);
+    EXPECT_EQ(plan.next_read_completion_delay(stall), microseconds(20));
+
+    AccelFaultConfig acc;
+    acc.stall_prob = 1.0;
+    acc.stall_time = microseconds(5);
+    EXPECT_EQ(plan.next_accel_stall(acc), microseconds(5));
+}
+
+TEST(FaultPlan, DoorbellJitterOnlyHitsMmioSizedWrites)
+{
+    PcieFaultConfig cfg;
+    cfg.doorbell_jitter_prob = 1.0;
+    cfg.doorbell_jitter_max = microseconds(1);
+    cfg.doorbell_max_bytes = 8;
+
+    FaultPlan plan(3);
+    // A 64 B CQE write or a 68 B inline-WQE doorbell is not jittered.
+    EXPECT_EQ(plan.next_doorbell_jitter(cfg, 64), 0);
+    EXPECT_EQ(plan.next_doorbell_jitter(cfg, 68), 0);
+    // A 4 B producer-index doorbell is.
+    TimePs j = plan.next_doorbell_jitter(cfg, 4);
+    EXPECT_GE(j, 1);
+    EXPECT_LE(j, microseconds(1));
+    EXPECT_EQ(plan.counters().pcie_doorbell_jitters, 1u);
+}
+
+TEST(FaultPlan, CorruptBytesFlipsExactlyOneBit)
+{
+    FaultPlan plan(9);
+    std::vector<uint8_t> frame(256, 0xAB);
+    std::vector<uint8_t> orig = frame;
+    plan.corrupt_bytes(frame.data(), frame.size());
+
+    int bit_diffs = 0;
+    for (size_t i = 0; i < frame.size(); ++i) {
+        uint8_t x = frame[i] ^ orig[i];
+        while (x) {
+            bit_diffs += x & 1;
+            x >>= 1;
+        }
+    }
+    EXPECT_EQ(bit_diffs, 1);
+}
+
+TEST(FaultCountersTest, SummaryIsStableAndComplete)
+{
+    FaultCounters fc;
+    fc.wire_frames = 10;
+    fc.wire_drops = 1;
+    fc.wire_corruptions = 2;
+    fc.wire_duplicates = 3;
+    fc.wire_reorders = 4;
+    fc.pcie_read_delays = 5;
+    fc.pcie_read_stalls = 6;
+    fc.pcie_doorbell_jitters = 7;
+    fc.accel_stalls = 8;
+    EXPECT_EQ(fc.summary(),
+              "wire: frames=10 drop=1 corrupt=2 dup=3 reorder=4 | "
+              "pcie: rd_delay=5 rd_stall=6 db_jitter=7 | "
+              "accel: stall=8");
+    EXPECT_EQ(fc.total(), 36u);
+}
+
+} // namespace
+} // namespace fld::sim
