@@ -9,6 +9,7 @@
 #include "apps/scenarios.h"
 #include "bench/bench_util.h"
 #include "model/perf_model.h"
+#include "sim/trace.h"
 
 using namespace fld;
 using namespace fld::apps;
@@ -106,11 +107,94 @@ run_mix_mpps(bool fld)
     return mpps;
 }
 
+/**
+ * `--trace=<path>` mode: instead of the full throughput sweep, run two
+ * short traced exchanges — a fault-free FLD-E echo and a 5%-loss FLD-R
+ * echo — validate the causal invariants over both traces, and export
+ * the fault-free one as Chrome trace-event JSON for Perfetto. Exits
+ * non-zero on any invariant violation so CI can gate on it.
+ */
+int
+run_trace_smoke(const std::string& path)
+{
+    bench::banner("Packet-lifecycle trace smoke (--trace)",
+                  "tracing extension");
+    size_t violations = 0;
+    sim::TraceChecker checker;
+
+    // Fault-free FLD-E echo, traced from setup through drain.
+    sim::Tracer tracer;
+    tracer.install();
+    {
+        PktGenConfig g;
+        g.frame_size = 256;
+        g.window = 8;
+        auto s = make_fld_echo(true, g);
+        s->gen->start(sim::microseconds(10), sim::microseconds(200));
+        s->tb->eq.run();
+    }
+    tracer.uninstall();
+    auto v = checker.check(tracer.events());
+    bench::note(strfmt("fault-free FLD-E echo: %zu events, "
+                       "%zu invariant violations",
+                       tracer.events().size(), v.size()));
+    for (const std::string& why : v)
+        bench::note("  VIOLATION: " + why);
+    violations += v.size();
+    if (!tracer.write_chrome_json(path)) {
+        bench::note("FAILED to write trace to " + path);
+        return 1;
+    }
+    bench::note("wrote Chrome trace JSON to " + path +
+                " (load it at https://ui.perfetto.dev)");
+
+    // 5%-loss FLD-R echo: go-back-N recovery must stay causally
+    // ordered, and completions exactly-once, under a lossy wire.
+    sim::Tracer lossy;
+    lossy.install();
+    {
+        TestbedConfig tb;
+        tb.fault_seed = 42;
+        tb.nic.wire_faults.drop_prob = 0.05;
+        auto s = make_fldr_echo(true, tb);
+        const uint32_t total = 30;
+        uint32_t next = 1;
+        auto post_next = [&] {
+            if (next <= total) {
+                s->client->post_send(
+                    std::vector<uint8_t>(2048, uint8_t(next)), next);
+                ++next;
+            }
+        };
+        s->client->set_msg_handler(
+            [&](uint32_t, std::vector<uint8_t>&&) { post_next(); });
+        for (uint32_t i = 0; i < 8; ++i)
+            post_next();
+        s->tb->eq.run();
+    }
+    lossy.uninstall();
+    auto v2 = checker.check(lossy.events());
+    bench::note(strfmt("5%%-loss FLD-R echo: %zu events, "
+                       "%zu invariant violations",
+                       lossy.events().size(), v2.size()));
+    for (const std::string& why : v2)
+        bench::note("  VIOLATION: " + why);
+    violations += v2.size();
+
+    bench::note(violations == 0 ? "trace smoke: PASS"
+                                : "trace smoke: FAIL");
+    return violations == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    std::string trace_path = bench::parse_trace_option(argc, argv);
+    if (!trace_path.empty())
+        return run_trace_smoke(trace_path);
+
     bench::banner("Figure 7b: echo throughput vs packet size",
                   "FlexDriver §8.1.1-8.1.2");
 

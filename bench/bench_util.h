@@ -28,6 +28,23 @@ note(const std::string& text)
     std::printf("  %s\n", text.c_str());
 }
 
+/**
+ * Parse the `--trace=<path>` knob shared by the bench binaries.
+ * Returns the export path, or an empty string when tracing was not
+ * requested on the command line.
+ */
+inline std::string
+parse_trace_option(int argc, char** argv)
+{
+    const std::string prefix = "--trace=";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) == 0)
+            return arg.substr(prefix.size());
+    }
+    return {};
+}
+
 } // namespace fld::bench
 
 #endif // FLD_BENCH_BENCH_UTIL_H

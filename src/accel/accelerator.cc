@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/trace.h"
+
 namespace fld::accel {
 
 Accelerator::Accelerator(std::string name, sim::EventQueue& eq,
@@ -32,8 +34,16 @@ Accelerator::on_rx(core::StreamPacket&& pkt)
     }
 
     sim::TimePs start = std::max(eq_.now(), unit_busy_until_[best]);
-    if (faults_ && fault_cfg_.enabled())
-        start += faults_->next_accel_stall(fault_cfg_);
+    if (faults_ && fault_cfg_.enabled()) {
+        sim::TimePs stall = faults_->next_accel_stall(fault_cfg_);
+        if (stall > 0) {
+            if (auto* tr = sim::Tracer::active())
+                tr->emit(eq_.now(), sim::TraceEventKind::FaultInject,
+                         name_, "stall", pkt.meta.corr, best, 0, 1,
+                         pkt.size());
+        }
+        start += stall;
+    }
     sim::TimePs done = start + service_time_for(pkt);
     unit_busy_until_[best] = done;
     unit_queued_[best]++;

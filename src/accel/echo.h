@@ -47,6 +47,7 @@ class EchoAccelerator : public Accelerator
             out.data = std::move(pkt.data);
             out.meta.context_id = pkt.meta.context_id;
             out.meta.next_table = pkt.meta.next_table;
+            out.meta.corr = pkt.meta.corr;
             send(tx_queue_, std::move(out));
             return;
         }

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "sim/trace.h"
 #include "util/bitops.h"
 #include "util/logging.h"
 
@@ -130,6 +131,12 @@ CpuDriver::send(uint32_t q, net::Packet&& frame)
     stats_.tx_packets++;
     stats_.tx_bytes += frame.size();
 
+    // Trace correlation: tag fresh packets at their origin.
+    if (frame.meta.corr == 0) {
+        if (auto* tr = sim::Tracer::active())
+            frame.meta.corr = tr->next_corr();
+    }
+
     // The driver's per-packet CPU work (descriptor write + doorbell).
     host_.run_on_core(
         qu.core, host_.packet_cost(frame.size(), /*tx=*/true),
@@ -149,6 +156,7 @@ CpuDriver::send(uint32_t q, net::Packet&& frame)
             wqe.byte_count = uint32_t(frame.size());
             wqe.flow_tag = frame.meta.flow_tag;
             wqe.next_table = frame.meta.next_table;
+            wqe.corr = frame.meta.corr;
             uint8_t enc[nic::kWqeStride];
             wqe.encode(enc);
             std::memcpy(hostmem_.raw(qu2.sq_ring +
@@ -242,6 +250,7 @@ CpuDriver::handle_rx(uint32_t q, const nic::Cqe& cqe)
     pkt.meta.l4_csum_ok = cqe.flags & nic::kCqeL4Ok;
     pkt.meta.tunneled = cqe.flags & nic::kCqeTunneled;
     pkt.meta.queue_id = uint16_t(q);
+    pkt.meta.corr = cqe.corr;
 
     // In-order buffer recycling: the NIC moved past older buffers.
     static_assert(sizeof(cqe.rq_wqe_index) == 2, "wrap math");

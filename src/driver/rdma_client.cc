@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "sim/trace.h"
 #include "util/bitops.h"
 #include "util/logging.h"
 
@@ -103,9 +104,14 @@ RdmaClient::post_send(std::vector<uint8_t> payload, uint32_t msg_id)
     tx_outstanding_.emplace_back(wqe_index, msg_id);
     messages_sent_++;
 
+    // Trace correlation: tag fresh messages at their origin.
+    uint64_t corr = 0;
+    if (auto* tr = sim::Tracer::active())
+        corr = tr->next_corr();
+
     host_.run_on_core(
         cfg_.core, cfg_.post_cost,
-        [this, slot, wqe_index, msg_id,
+        [this, slot, wqe_index, msg_id, corr,
          payload = std::move(payload)]() mutable {
             uint64_t data = data_arena_ +
                             uint64_t(slot) * cfg_.max_msg_bytes;
@@ -120,6 +126,7 @@ RdmaClient::post_send(std::vector<uint8_t> payload, uint32_t msg_id)
             wqe.addr = dma_base_ + data;
             wqe.byte_count = uint32_t(payload.size());
             wqe.msg_id = msg_id;
+            wqe.corr = corr;
             uint8_t enc[nic::kWqeStride];
             wqe.encode(enc);
             std::memcpy(hostmem_.raw(sq_ring_ +

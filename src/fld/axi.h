@@ -34,6 +34,7 @@ struct StreamMeta
     uint32_t msg_len = 0;
     bool msg_last = false;
     bool is_rdma = false;
+    uint64_t corr = 0;       ///< trace correlation id (0 = untraced)
 };
 
 /** A packet on the stream interface. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "sim/trace.h"
 #include "util/bitops.h"
 #include "util/logging.h"
 
@@ -184,6 +185,13 @@ FlexDriver::tx(uint32_t q, StreamPacket&& pkt)
     d.msg_id = pkt.meta.msg_id;
     d.flow_tag = pkt.meta.context_id;
     d.next_table = pkt.meta.next_table;
+    // Trace correlation: tag fresh packets at their origin so every
+    // downstream transaction (fetch, DMA, wire, CQE) can be joined.
+    if (pkt.meta.corr == 0) {
+        if (auto* tr = sim::Tracer::active())
+            pkt.meta.corr = tr->next_corr();
+    }
+    d.corr = pkt.meta.corr;
     // Selective completion signalling: completions both free on-die
     // state and return credits, so sign periodically and when the
     // queue would otherwise go quiet.
@@ -302,6 +310,7 @@ FlexDriver::synthesize_wqe(uint32_t q, uint32_t slot, uint8_t* out)
     wqe.msg_id = d.msg_id;
     wqe.flow_tag = d.flow_tag;
     wqe.next_table = d.next_table;
+    wqe.corr = d.corr;
     wqe.encode(out);
 }
 
@@ -540,6 +549,7 @@ FlexDriver::handle_rx_cqe(const nic::Cqe& cqe)
     pkt.meta.ip_fragment = cqe.flags & nic::kCqeIpFrag;
     pkt.meta.tunneled = cqe.flags & nic::kCqeTunneled;
     pkt.meta.is_rdma = b.is_rdma;
+    pkt.meta.corr = cqe.corr;
     if (b.is_rdma) {
         pkt.meta.msg_id = cqe.msg_id;
         pkt.meta.msg_offset = cqe.msg_offset;

@@ -183,6 +183,7 @@ class FlexDriver : public pcie::PcieEndpoint
         uint32_t msg_id = 0;
         uint32_t flow_tag = 0;  ///< FLD-E context id (§5.4)
         uint32_t next_table = 0;///< FLD-E resume table (§5.3)
+        uint64_t corr = 0;      ///< trace correlation id (0 = untraced)
         bool valid = false;
     };
     struct TxQueue

@@ -26,6 +26,7 @@ struct PacketMeta
     uint32_t vni = 0;         ///< VXLAN network id when tunneled
     uint32_t next_table = 0;  ///< FLD-E: match-action table to resume at
     uint64_t client_cookie = 0; ///< opaque end-to-end correlation id
+    uint64_t corr = 0;        ///< trace correlation id (0 = untraced)
 };
 
 /** A network packet: raw bytes plus simulation metadata. */

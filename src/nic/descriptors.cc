@@ -19,6 +19,7 @@ Wqe::encode(uint8_t out[kWqeStride]) const
     store_le64(out + 16, addr);
     store_le32(out + 24, byte_count);
     store_le32(out + 28, msg_id);
+    store_le64(out + 32, corr);
 }
 
 Wqe
@@ -34,6 +35,7 @@ Wqe::decode(const uint8_t in[kWqeStride])
     w.addr = load_le64(in + 16);
     w.byte_count = load_le32(in + 24);
     w.msg_id = load_le32(in + 28);
+    w.corr = load_le64(in + 32);
     return w;
 }
 
@@ -73,6 +75,7 @@ Cqe::encode(uint8_t out[kCqeStride]) const
     store_le16(out + 22, rq_wqe_index);
     store_le32(out + 24, msg_id);
     store_le32(out + 28, msg_offset);
+    store_le64(out + 32, corr);
     out[63] = owner; // last byte so a full-CQE write commits ownership
 }
 
@@ -91,6 +94,7 @@ Cqe::decode(const uint8_t in[kCqeStride])
     c.rq_wqe_index = load_le16(in + 22);
     c.msg_id = load_le32(in + 24);
     c.msg_offset = load_le32(in + 28);
+    c.corr = load_le64(in + 32);
     c.owner = in[63];
     return c;
 }

@@ -37,6 +37,7 @@ struct Wqe
     uint64_t addr = 0;         ///< payload fabric address
     uint32_t byte_count = 0;   ///< payload length
     uint32_t msg_id = 0;       ///< RDMA: message correlation id
+    uint64_t corr = 0;         ///< trace correlation id (0 = untraced)
 
     void encode(uint8_t out[kWqeStride]) const;
     static Wqe decode(const uint8_t in[kWqeStride]);
@@ -83,6 +84,7 @@ struct Cqe
     uint32_t msg_id = 0;       ///< RDMA message id
     uint32_t msg_offset = 0;   ///< byte offset of this packet in message
     uint8_t owner = 0;         ///< phase/ownership bit for polling
+    uint64_t corr = 0;         ///< trace correlation id (0 = untraced)
 
     void encode(uint8_t out[kCqeStride]) const;
     static Cqe decode(const uint8_t in[kCqeStride]);

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "net/checksum.h"
+#include "sim/trace.h"
 #include "util/bitops.h"
 #include "util/logging.h"
 
@@ -214,7 +215,11 @@ NicDevice::bar_write(uint64_t addr, const uint8_t* data, size_t len)
     if (len == 4 + kWqeStride && addr < kRqDbBase) {
         uint32_t pi = load_le32(data);
         Wqe wqe = Wqe::decode(data + 4);
-        doorbell_sq_inline(uint32_t((addr - kSqDbBase) / 8), pi, wqe);
+        uint32_t sqn = uint32_t((addr - kSqDbBase) / 8);
+        if (auto* tr = sim::Tracer::active())
+            tr->emit(eq_.now(), sim::TraceEventKind::DoorbellWrite, name_,
+                     "sq_inline", wqe.corr, sqn, pi, 1, len);
+        doorbell_sq_inline(sqn, pi, wqe);
         return;
     }
     if (len != 4) {
@@ -224,9 +229,17 @@ NicDevice::bar_write(uint64_t addr, const uint8_t* data, size_t len)
     }
     uint32_t value = load_le32(data);
     if (addr >= kRqDbBase) {
-        doorbell_rq(uint32_t((addr - kRqDbBase) / 8), value);
+        uint32_t rqn = uint32_t((addr - kRqDbBase) / 8);
+        if (auto* tr = sim::Tracer::active())
+            tr->emit(eq_.now(), sim::TraceEventKind::DoorbellWrite, name_,
+                     "rq", 0, rqn, value, 1, len);
+        doorbell_rq(rqn, value);
     } else {
-        doorbell_sq(uint32_t((addr - kSqDbBase) / 8), value);
+        uint32_t sqn = uint32_t((addr - kSqDbBase) / 8);
+        if (auto* tr = sim::Tracer::active())
+            tr->emit(eq_.now(), sim::TraceEventKind::DoorbellWrite, name_,
+                     "sq", 0, sqn, value, 1, len);
+        doorbell_sq(sqn, value);
     }
 }
 
@@ -294,8 +307,12 @@ NicDevice::maybe_fetch_wqes(uint32_t sqn)
                                sq.pi - sq.fetch_ci,
                                sq.cfg.entries - slot});
         sq.fetches_inflight++;
+        uint32_t first = sq.fetch_ci;
         sq.fetch_ci += n;
         uint64_t addr = sq.cfg.ring_addr + uint64_t(slot) * kWqeStride;
+        if (auto* tr = sim::Tracer::active())
+            tr->emit(eq_.now(), sim::TraceEventKind::WqeFetch, name_, "sq",
+                     0, sqn, first, n, uint64_t(n) * kWqeStride);
         fabric_.read(
             dma_port_, addr, size_t(n) * kWqeStride,
             [this, sqn, n](std::vector<uint8_t> data) {
@@ -332,6 +349,10 @@ NicDevice::execute_wqe(uint32_t sqn, Wqe wqe)
     // Gather the payload from wherever the descriptor points (host
     // memory for the CPU driver, FLD BAR for accelerators). Gathers
     // pipeline; retirement stays in order.
+    if (auto* tr = sim::Tracer::active())
+        tr->emit(eq_.now(), sim::TraceEventKind::PayloadRead, name_,
+                 it->second.is_rdma ? "rdma" : "eth", wqe.corr, sqn,
+                 wqe.wqe_index, 1, wqe.byte_count);
     fabric_.read(dma_port_, wqe.addr, wqe.byte_count,
                  [this, sqn, seq, wqe](std::vector<uint8_t> payload) {
                      auto it2 = sqs_.find(sqn);
@@ -373,6 +394,7 @@ NicDevice::eth_send(uint32_t sqn, const Wqe& wqe,
     pkt.meta.flow_tag = wqe.flow_tag;
     pkt.meta.next_table = wqe.next_table;
     pkt.meta.queue_id = uint16_t(sqn);
+    pkt.meta.corr = wqe.corr;
     fix_checksums(pkt); // TX checksum offload
 
     stats_.tx_packets++;
@@ -395,6 +417,7 @@ NicDevice::sq_complete(uint32_t sqn, const Wqe& wqe)
     cqe.wqe_counter = wqe.wqe_index;
     cqe.byte_count = wqe.byte_count;
     cqe.msg_id = wqe.msg_id;
+    cqe.corr = wqe.corr;
     write_cqe(it->second.cfg.cqn, cqe);
 }
 
@@ -652,6 +675,9 @@ NicDevice::maybe_fetch_rx_descs(uint32_t rqn)
         rq.fetch_ci += n;
         uint64_t addr =
             rq.cfg.ring_addr + uint64_t(slot) * kRxDescStride;
+        if (auto* tr = sim::Tracer::active())
+            tr->emit(eq_.now(), sim::TraceEventKind::WqeFetch, name_, "rq",
+                     0, rqn, first_index, n, uint64_t(n) * kRxDescStride);
         fabric_.read(
             dma_port_, addr, size_t(n) * kRxDescStride,
             [this, rqn, n, first_index](std::vector<uint8_t> data) {
@@ -746,10 +772,15 @@ NicDevice::deliver_to_rq(uint32_t rqn, net::Packet&& pkt,
         // Ethernet completions.
         if (!rdma_info)
             cqe.msg_offset = pkt.meta.next_table;
+        cqe.corr = pkt.meta.corr;
 
         stats_.rx_packets++;
         stats_.rx_bytes += pkt.size();
 
+        if (auto* tr = sim::Tracer::active())
+            tr->emit(eq_.now(), sim::TraceEventKind::PayloadWrite, name_,
+                     rdma_info ? "rdma" : "eth", pkt.meta.corr, rqn,
+                     wqe_index, 1, pkt.size());
         uint32_t cqn = rq.cfg.cqn;
         fabric_.write(dma_port_, dst, std::move(pkt.data),
                       [this, cqn, cqe] { write_cqe(cqn, cqe); });
@@ -784,6 +815,13 @@ NicDevice::write_cqe(uint32_t cqn, Cqe cqe)
         cq.pi++;
         std::vector<uint8_t> bytes(kCqeStride);
         cqe.encode(bytes.data());
+        if (auto* tr = sim::Tracer::active()) {
+            const char* what = cqe.opcode == CqeOpcode::TxOk  ? "TxOk"
+                               : cqe.opcode == CqeOpcode::Rx ? "Rx"
+                                                             : "Error";
+            tr->emit(eq_.now(), sim::TraceEventKind::CqeWrite, name_, what,
+                     cqe.corr, cqe.qpn, cqe.wqe_counter, 1, kCqeStride);
+        }
         fabric_.write(dma_port_,
                       cq.cfg.ring_addr + uint64_t(slot) * kCqeStride,
                       std::move(bytes));
@@ -829,8 +867,15 @@ NicDevice::flush_cq(uint32_t cqn)
     Cqe title = cq.pending.front();
     title.encode(bytes.data());
     bytes[kCqeMiniCountOffset] = uint8_t(n - 1);
+    if (auto* tr = sim::Tracer::active())
+        tr->emit(eq_.now(), sim::TraceEventKind::CqeWrite, name_, "Rx",
+                 title.corr, title.qpn, title.wqe_counter, 1, kCqeStride);
     for (size_t i = 1; i < n; ++i) {
         const Cqe& c = cq.pending[i];
+        if (auto* tr = sim::Tracer::active())
+            tr->emit(eq_.now(), sim::TraceEventKind::CqeWrite, name_,
+                     "RxMini", c.corr, c.qpn, c.wqe_counter, 1,
+                     kMiniCqeStride);
         MiniCqe mini;
         mini.byte_count = c.byte_count;
         mini.stride_index = c.stride_index;
@@ -871,6 +916,7 @@ NicDevice::inject_qp_error(uint32_t qpn)
         cqe.qpn = qpn;
         cqe.wqe_counter = msg.wqe.wqe_index;
         cqe.msg_id = msg.wqe.msg_id;
+        cqe.corr = msg.wqe.corr;
         auto sit = sqs_.find(qp.cfg.sqn);
         if (sit != sqs_.end())
             write_cqe(sit->second.cfg.cqn, cqe);
@@ -884,6 +930,7 @@ NicDevice::inject_qp_error(uint32_t qpn)
         cqe.qpn = qpn;
         cqe.wqe_counter = wqe.wqe_index;
         cqe.msg_id = wqe.msg_id;
+        cqe.corr = wqe.corr;
         auto sit = sqs_.find(qp.cfg.sqn);
         if (sit != sqs_.end())
             write_cqe(sit->second.cfg.cqn, cqe);
@@ -907,6 +954,7 @@ NicDevice::rdma_send(uint32_t qpn, const Wqe& wqe,
         cqe.qpn = qpn;
         cqe.wqe_counter = wqe.wqe_index;
         cqe.msg_id = wqe.msg_id;
+        cqe.corr = wqe.corr;
         auto sit = sqs_.find(qp.cfg.sqn);
         if (sit != sqs_.end())
             write_cqe(sit->second.cfg.cqn, cqe);
@@ -984,6 +1032,7 @@ NicDevice::transmit_segments(uint32_t qpn, const TxMsg& msg)
                         msg.payload.data() + off, chunk);
         }
         pkt.meta.flow_tag = msg.wqe.flow_tag;
+        pkt.meta.corr = msg.wqe.corr;
 
         stats_.tx_packets++;
         stats_.tx_bytes += pkt.size();
@@ -1146,6 +1195,9 @@ NicDevice::retransmit(uint32_t qpn)
     QpState& qp = it->second;
     stats_.rdma_retransmits++;
     emit(NicEvent::Type::QpRetransmit, qpn);
+    if (auto* tr = sim::Tracer::active())
+        tr->emit(eq_.now(), sim::TraceEventKind::Retransmit, name_, "gbn",
+                 0, qpn, qp.acked_psn, uint32_t(qp.inflight.size()), 0);
     // Go-back-N: resend every unacked message.
     for (const TxMsg& msg : qp.inflight)
         transmit_segments(qpn, msg);

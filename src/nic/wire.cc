@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/trace.h"
+
 namespace fld::nic {
 
 EthernetLink::EthernetLink(sim::EventQueue& eq, NetPort& a, NetPort& b,
@@ -16,7 +18,11 @@ void
 EthernetLink::deliver_at(sim::TimePs when, NetPort& dst,
                          net::Packet&& pkt)
 {
-    eq_.schedule_at(when, [&dst, pkt = std::move(pkt)]() mutable {
+    eq_.schedule_at(when, [this, &dst, pkt = std::move(pkt)]() mutable {
+        if (auto* tr = sim::Tracer::active())
+            tr->emit(eq_.now(), sim::TraceEventKind::WireRx, dst.name(),
+                     "frame", pkt.meta.corr, pkt.meta.queue_id, 0, 1,
+                     pkt.size());
         dst.deliver(std::move(pkt));
     });
 }
@@ -25,7 +31,7 @@ void
 EthernetLink::connect(NetPort& src, NetPort& dst, sim::TimePs& busy_until,
                       sim::RateMeter& meter)
 {
-    src.set_tx_hook([this, &dst, &busy_until,
+    src.set_tx_hook([this, &src, &dst, &busy_until,
                      &meter](net::Packet&& pkt) {
         uint64_t wire_bytes = pkt.size() + kEthWireOverhead;
         sim::TimePs start = std::max(eq_.now(), busy_until);
@@ -33,16 +39,29 @@ EthernetLink::connect(NetPort& src, NetPort& dst, sim::TimePs& busy_until,
         meter.record(busy_until, pkt.size());
         sim::TimePs arrival = busy_until + latency_;
 
+        if (auto* tr = sim::Tracer::active())
+            tr->emit(eq_.now(), sim::TraceEventKind::WireTx, src.name(),
+                     "frame", pkt.meta.corr, pkt.meta.queue_id, 0, 1,
+                     pkt.size());
         if (faults_ && fault_cfg_.enabled()) {
+            auto inject = [&](const char* what) {
+                if (auto* tr = sim::Tracer::active())
+                    tr->emit(eq_.now(), sim::TraceEventKind::FaultInject,
+                             src.name(), what, pkt.meta.corr,
+                             pkt.meta.queue_id, 0, 1, pkt.size());
+            };
             switch (faults_->next_wire_fault(fault_cfg_)) {
               case sim::WireFault::Drop:
+                inject("drop");
                 return; // serialized, then lost on the wire
               case sim::WireFault::Corrupt:
                 // Damage the frame; the receiving MAC's FCS check
                 // discards it, so it never reaches the NIC pipeline.
+                inject("corrupt");
                 faults_->corrupt_bytes(pkt.bytes(), pkt.size());
                 return;
               case sim::WireFault::Duplicate: {
+                inject("dup");
                 net::Packet copy = pkt;
                 // The duplicate serializes right behind the original.
                 busy_until +=
@@ -52,6 +71,7 @@ EthernetLink::connect(NetPort& src, NetPort& dst, sim::TimePs& busy_until,
                 break;
               }
               case sim::WireFault::Reorder:
+                inject("reorder");
                 arrival += faults_->next_reorder_delay(fault_cfg_);
                 break;
               case sim::WireFault::None:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/trace.h"
 #include "util/logging.h"
 
 namespace fld::pcie {
@@ -83,9 +84,17 @@ PcieFabric::write(PortId from, uint64_t addr, std::vector<uint8_t> data,
     // doorbell behind a later one — exactly the hazard drivers must
     // tolerate (producer indices are cumulative, so a stale doorbell
     // is harmless).
-    if (faults_)
-        delivered +=
+    if (faults_) {
+        sim::TimePs jitter =
             faults_->next_doorbell_jitter(tlp_.faults, data.size());
+        if (jitter > 0) {
+            if (auto* tr = sim::Tracer::active())
+                tr->emit(eq_.now(), sim::TraceEventKind::FaultInject,
+                         src.name, "db_jitter", 0, uint32_t(from), 0, 1,
+                         data.size());
+        }
+        delivered += jitter;
+    }
 
     uint64_t bar_off = addr - m.base;
     PcieEndpoint* ep = m.ep;
@@ -162,8 +171,16 @@ PcieFabric::read(PortId from, uint64_t addr, size_t len, OnReadData done)
             // DMA depends on.
             if (faults_ && (tlp_.faults.read_delay_prob > 0 ||
                             tlp_.faults.read_stall_prob > 0)) {
-                delivered +=
+                sim::TimePs delay =
                     faults_->next_read_completion_delay(tlp_.faults);
+                if (delay > 0) {
+                    if (auto* tr = sim::Tracer::active())
+                        tr->emit(eq_.now(),
+                                 sim::TraceEventKind::FaultInject,
+                                 dstp->name, "cpl_delay", 0, 0, 0, 1,
+                                 len);
+                }
+                delivered += delay;
                 delivered =
                     std::max(delivered, srcp->cpl_order_floor);
                 srcp->cpl_order_floor = delivered;

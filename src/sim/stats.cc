@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/logging.h"
 #include "util/strings.h"
@@ -52,7 +53,7 @@ Histogram::percentile(double pct) const
 {
     ensure_sorted();
     if (sorted_.empty())
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     if (sorted_.size() == 1)
         return sorted_.front();
     double rank = pct / 100.0 * double(sorted_.size() - 1);

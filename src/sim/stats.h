@@ -32,7 +32,12 @@ class Histogram
     double max() const;
     double stddev() const;
 
-    /** Percentile in [0, 100]; linear interpolation between samples. */
+    /**
+     * Percentile in [0, 100]; linear interpolation between samples.
+     * Returns quiet NaN when the histogram holds no samples — an
+     * empty distribution has no percentiles, and NaN propagates
+     * loudly instead of masquerading as a zero-latency measurement.
+     */
     double percentile(double pct) const;
     double median() const { return percentile(50.0); }
 

@@ -1,0 +1,336 @@
+#include "sim/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace fld::sim {
+
+Tracer* Tracer::active_ = nullptr;
+
+const char*
+to_string(TraceEventKind kind)
+{
+    switch (kind) {
+    case TraceEventKind::DoorbellWrite: return "DoorbellWrite";
+    case TraceEventKind::WqeFetch:      return "WqeFetch";
+    case TraceEventKind::PayloadRead:   return "PayloadRead";
+    case TraceEventKind::PayloadWrite:  return "PayloadWrite";
+    case TraceEventKind::WireTx:        return "WireTx";
+    case TraceEventKind::WireRx:        return "WireRx";
+    case TraceEventKind::CqeWrite:      return "CqeWrite";
+    case TraceEventKind::Retransmit:    return "Retransmit";
+    case TraceEventKind::FaultInject:   return "FaultInject";
+    }
+    return "?";
+}
+
+Tracer::~Tracer()
+{
+    uninstall();
+}
+
+void
+Tracer::install()
+{
+    if (active_ != nullptr && active_ != this)
+        panic("a Tracer is already installed");
+    active_ = this;
+}
+
+void
+Tracer::uninstall()
+{
+    if (active_ == this)
+        active_ = nullptr;
+}
+
+void
+Tracer::emit(TimePs time, TraceEventKind kind, const std::string& actor,
+             const char* detail, uint64_t corr, uint32_t queue,
+             uint32_t index, uint32_t count, uint64_t bytes)
+{
+    TraceEvent ev;
+    ev.time = time;
+    ev.kind = kind;
+    ev.actor = actor;
+    ev.detail = detail;
+    ev.corr = corr;
+    ev.queue = queue;
+    ev.index = index;
+    ev.count = count;
+    ev.bytes = bytes;
+    events_.push_back(std::move(ev));
+}
+
+namespace {
+
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+Tracer::write_chrome_json(const std::string& path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+
+    // One synthetic "thread" per actor, in order of first appearance, so
+    // Perfetto groups each component's events on its own track.
+    std::map<std::string, int> tids;
+    for (const TraceEvent& ev : events_)
+        if (!tids.count(ev.actor))
+            tids.emplace(ev.actor, int(tids.size()) + 1);
+
+    f << "{\"traceEvents\":[\n";
+    f << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+         "\"args\":{\"name\":\"fld-sim\"}}";
+    for (const auto& [actor, tid] : tids) {
+        f << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+          << tid << ",\"args\":{\"name\":\"" << json_escape(actor)
+          << "\"}}";
+    }
+    char buf[512];
+    for (const TraceEvent& ev : events_) {
+        // Chrome trace timestamps are microseconds; ours are picoseconds.
+        double ts = double(ev.time) / 1e6;
+        std::snprintf(
+            buf, sizeof(buf),
+            ",\n{\"name\":\"%s %s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,"
+            "\"tid\":%d,\"ts\":%.6f,\"args\":{\"corr\":%" PRIu64
+            ",\"queue\":%u,\"index\":%u,\"count\":%u,\"bytes\":%" PRIu64
+            "}}",
+            to_string(ev.kind), ev.detail, tids.at(ev.actor), ts, ev.corr,
+            ev.queue, ev.index, ev.count, ev.bytes);
+        f << buf;
+    }
+    f << "\n]}\n";
+    return bool(f);
+}
+
+std::string
+Tracer::digest() const
+{
+    // Renumber correlation ids by order of first appearance so two runs
+    // that allocate different raw ids but behave identically digest the
+    // same.  Timestamps are excluded on purpose.
+    std::map<uint64_t, uint64_t> renum;
+    renum[0] = 0;
+    std::ostringstream out;
+    for (const TraceEvent& ev : events_) {
+        auto [it, fresh] = renum.emplace(ev.corr, renum.size());
+        (void)fresh;
+        out << to_string(ev.kind) << ' ' << ev.actor << ' ' << ev.detail
+            << " corr=" << it->second << " q=" << ev.queue
+            << " idx=" << ev.index << " n=" << ev.count
+            << " bytes=" << ev.bytes << '\n';
+    }
+    return out.str();
+}
+
+std::vector<std::vector<TraceEventKind>>
+Tracer::causal_skeletons(const std::string& detail_filter) const
+{
+    std::map<uint64_t, size_t> slot;
+    std::vector<std::vector<TraceEventKind>> out;
+    for (const TraceEvent& ev : events_) {
+        if (ev.corr == 0)
+            continue;
+        switch (ev.kind) {
+        case TraceEventKind::PayloadRead:
+        case TraceEventKind::PayloadWrite:
+        case TraceEventKind::WireTx:
+        case TraceEventKind::WireRx:
+            break;
+        default:
+            continue;
+        }
+        bool is_wire = ev.kind == TraceEventKind::WireTx ||
+                       ev.kind == TraceEventKind::WireRx;
+        if (!detail_filter.empty() && !is_wire &&
+            detail_filter != ev.detail)
+            continue;
+        auto [it, fresh] = slot.emplace(ev.corr, out.size());
+        if (fresh)
+            out.emplace_back();
+        out[it->second].push_back(ev.kind);
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+describe(const TraceEvent& ev)
+{
+    std::ostringstream out;
+    out << "t=" << ev.time << " " << to_string(ev.kind) << " " << ev.actor
+        << " " << ev.detail << " corr=" << ev.corr << " q=" << ev.queue
+        << " idx=" << ev.index << " n=" << ev.count
+        << " bytes=" << ev.bytes;
+    return out.str();
+}
+
+/// Producer indices are free-running uint32 counters; compare with wrap.
+bool
+index_le(uint32_t a, uint32_t b)
+{
+    return int32_t(a - b) <= 0;
+}
+
+} // namespace
+
+std::vector<std::string>
+TraceChecker::check(const std::vector<TraceEvent>& events)
+{
+    std::vector<std::string> violations;
+    auto fail = [&](const TraceEvent& ev, const std::string& why) {
+        violations.push_back(why + " at [" + describe(ev) + "]");
+    };
+
+    // Invariant 2 state: highest producer index advertised per
+    // (actor, ring class, queue).
+    std::map<std::tuple<std::string, std::string, uint32_t>, uint32_t>
+        advertised;
+    // Invariant 3 state, per correlation id.
+    std::map<uint64_t, uint64_t> wire_tx, wire_rx, wire_dup, rx_cqe;
+    // Invariant 4 state: payload byte counts per correlation id.
+    std::map<uint64_t, std::vector<uint64_t>> payload_bytes;
+    std::set<uint64_t> rdma_corr;
+    // Invariant 5 state: TxOk completions seen.
+    std::set<std::tuple<std::string, uint32_t, uint64_t>> txok_seen;
+
+    TimePs prev_time = 0;
+    for (const TraceEvent& ev : events) {
+        // 1. Monotonic time.
+        if (ev.time < prev_time)
+            fail(ev, "time went backwards");
+        prev_time = ev.time;
+
+        const std::string detail = ev.detail;
+        switch (ev.kind) {
+        case TraceEventKind::DoorbellWrite: {
+            if (ev.bytes != 4 && ev.bytes != 68)
+                fail(ev, "doorbell must be 4 B or 4+64 B inline");
+            std::string ring = (detail == "rq") ? "rq" : "sq";
+            auto key = std::make_tuple(ev.actor, ring, ev.queue);
+            auto it = advertised.find(key);
+            if (it == advertised.end())
+                advertised.emplace(key, ev.index);
+            else if (!index_le(ev.index, it->second))
+                it->second = ev.index; // ignore stale (jittered) doorbells
+            break;
+        }
+        case TraceEventKind::WqeFetch: {
+            uint64_t stride = (detail == "rq") ? 16 : 64;
+            if (ev.bytes != uint64_t(ev.count) * stride)
+                fail(ev, "descriptor fetch bytes != count * stride");
+            auto key = std::make_tuple(ev.actor, detail, ev.queue);
+            auto it = advertised.find(key);
+            if (it == advertised.end())
+                fail(ev, "descriptor fetch before any doorbell");
+            else if (!index_le(ev.index + ev.count, it->second))
+                fail(ev, "descriptor fetch beyond doorbell producer index");
+            break;
+        }
+        case TraceEventKind::PayloadRead:
+        case TraceEventKind::PayloadWrite:
+            if (ev.corr != 0) {
+                payload_bytes[ev.corr].push_back(ev.bytes);
+                if (detail == "rdma")
+                    rdma_corr.insert(ev.corr);
+            }
+            break;
+        case TraceEventKind::WireTx:
+            if (ev.corr != 0) {
+                wire_tx[ev.corr]++;
+                payload_bytes[ev.corr].push_back(ev.bytes);
+            }
+            break;
+        case TraceEventKind::WireRx:
+            if (ev.corr != 0) {
+                wire_rx[ev.corr]++;
+                payload_bytes[ev.corr].push_back(ev.bytes);
+            }
+            break;
+        case TraceEventKind::CqeWrite: {
+            uint64_t want = (detail == "RxMini") ? 16 : 64;
+            if (ev.bytes != want)
+                fail(ev, "CQE bytes do not match title/mini format");
+            if ((detail == "Rx" || detail == "RxMini") && ev.corr != 0 &&
+                wire_tx.count(ev.corr)) {
+                // 3. This packet crossed the wire: its Rx completion must
+                // be preceded by a matching wire arrival.
+                rx_cqe[ev.corr]++;
+                if (rx_cqe[ev.corr] > wire_rx[ev.corr])
+                    fail(ev, "Rx CQE without a preceding wire arrival");
+            }
+            if (detail == "TxOk" && ev.corr != 0) {
+                // 5. Exactly-once completion per WQE.
+                auto key = std::make_tuple(ev.actor, ev.queue, ev.corr);
+                if (!txok_seen.insert(key).second)
+                    fail(ev, "duplicate TxOk CQE for the same WQE");
+            }
+            break;
+        }
+        case TraceEventKind::FaultInject:
+            if (detail == "dup" && ev.corr != 0)
+                wire_dup[ev.corr]++;
+            break;
+        case TraceEventKind::Retransmit:
+            break;
+        }
+    }
+
+    // 3 (end of trace). A frame cannot arrive more often than it was sent.
+    for (const auto& [corr, rx] : wire_rx) {
+        uint64_t tx = wire_tx.count(corr) ? wire_tx.at(corr) : 0;
+        uint64_t dup = wire_dup.count(corr) ? wire_dup.at(corr) : 0;
+        if (rx > tx + dup) {
+            std::ostringstream out;
+            out << "corr " << corr << " arrived " << rx
+                << " times but was sent only " << tx << "+" << dup
+                << " (tx+dup) times";
+            violations.push_back(out.str());
+        }
+    }
+
+    // 4 (end of trace). Ethernet frames keep one byte count across
+    // PayloadRead -> WireTx -> WireRx -> PayloadWrite.  RDMA messages are
+    // segmented and carry transport headers, so they are exempt here.
+    for (const auto& [corr, sizes] : payload_bytes) {
+        if (rdma_corr.count(corr))
+            continue;
+        for (uint64_t b : sizes) {
+            if (b != sizes.front()) {
+                std::ostringstream out;
+                out << "corr " << corr
+                    << " changed payload size mid-flight (" << sizes.front()
+                    << " vs " << b << " bytes)";
+                violations.push_back(out.str());
+                break;
+            }
+        }
+    }
+
+    return violations;
+}
+
+} // namespace fld::sim

@@ -1,0 +1,147 @@
+#pragma once
+///
+/// \file trace.h
+/// Packet-lifecycle tracing: a structured event recorder for the simulated
+/// datapath plus an invariant checker over recorded traces.
+///
+/// Design goals:
+///  - Zero overhead when disabled.  Components guard every emission with
+///    `if (auto* tr = sim::Tracer::active())`; when no tracer is installed
+///    this is a single load + branch and no correlation ids are assigned,
+///    so untraced runs are bit-identical to a build without tracing.
+///  - Time-agnostic.  The tracer never owns a clock; callers pass their own
+///    `EventQueue::now()` so one tracer can span several components.
+///  - Correlation.  Each packet/WQE carries a `corr` id (threaded through
+///    PacketMeta, Wqe/Cqe descriptor bytes and StreamMeta) so every event a
+///    packet causes — doorbell, fetch, DMA, wire hop, CQE — can be joined
+///    back together.  corr == 0 means "untraced".
+///
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace fld::sim {
+
+/// What happened.  One enumerator per observable datapath transaction.
+enum class TraceEventKind : uint8_t {
+    DoorbellWrite, ///< MMIO doorbell hits the NIC BAR (4 B or 4+64 B inline)
+    WqeFetch,      ///< NIC DMA-reads SQ WQEs or RQ descriptors from host/FLD
+    PayloadRead,   ///< NIC DMA-reads a packet payload for transmit
+    PayloadWrite,  ///< NIC DMA-writes a received payload to a buffer
+    WireTx,        ///< frame leaves a NIC port onto the Ethernet link
+    WireRx,        ///< frame arrives at the far NIC port
+    CqeWrite,      ///< NIC DMA-writes a completion (title or mini CQE)
+    Retransmit,    ///< RDMA RC go-back-N retransmission fires
+    FaultInject,   ///< injected fault fired (drop/corrupt/dup/reorder/...)
+};
+
+const char* to_string(TraceEventKind kind);
+
+/// A single recorded transaction.
+struct TraceEvent {
+    TimePs time = 0;            ///< simulation time of the transaction
+    TraceEventKind kind = TraceEventKind::DoorbellWrite;
+    std::string actor;          ///< emitting component, e.g. "client_nic"
+    const char* detail = "";    ///< kind-specific tag: "sq", "rq", "eth", ...
+    uint64_t corr = 0;          ///< packet/WQE correlation id (0 = none)
+    uint32_t queue = 0;         ///< SQ/RQ/QP number the event belongs to
+    uint32_t index = 0;         ///< descriptor index / producer counter / PSN
+    uint32_t count = 1;         ///< descriptors (or frames) in this event
+    uint64_t bytes = 0;         ///< bytes moved by the transaction
+};
+
+///
+/// Structured event recorder.  Install at most one per process; components
+/// discover it through the process-global `active()` pointer.
+///
+class Tracer {
+public:
+    Tracer() = default;
+    ~Tracer();
+
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
+
+    /// The currently installed tracer, or nullptr when tracing is off.
+    static Tracer* active() { return active_; }
+
+    /// Make this tracer the process-global one.  Panics if another tracer
+    /// is already installed.
+    void install();
+
+    /// Detach this tracer (no-op if it is not the active one).  Recorded
+    /// events survive and can still be exported/checked.
+    void uninstall();
+
+    /// Next fresh correlation id (1-based; 0 is reserved for "untraced").
+    uint64_t next_corr() { return ++last_corr_; }
+
+    /// Record one event.  `time` is the caller's EventQueue::now().
+    void emit(TimePs time, TraceEventKind kind, const std::string& actor,
+              const char* detail, uint64_t corr = 0, uint32_t queue = 0,
+              uint32_t index = 0, uint32_t count = 1, uint64_t bytes = 0);
+
+    const std::vector<TraceEvent>& events() const { return events_; }
+    void clear() { events_.clear(); }
+
+    /// Export in Chrome trace-event JSON ("traceEvents" array of instant
+    /// events), loadable by Perfetto / chrome://tracing.  Returns false on
+    /// I/O error.
+    bool write_chrome_json(const std::string& path) const;
+
+    ///
+    /// Deterministic digest of the causal content of the trace: one line
+    /// per event with kind/actor/detail/queue/index/count/bytes and the
+    /// correlation id renumbered by order of first appearance.  Timestamps
+    /// are deliberately excluded, so the digest is stable across runs whose
+    /// timing differs but whose causal behaviour is identical.
+    ///
+    std::string digest() const;
+
+    ///
+    /// Per-correlation-id causal skeleton: for every corr != 0, the ordered
+    /// list of datapath kinds (PayloadRead/PayloadWrite/WireTx/WireRx) it
+    /// experienced.  `detail_filter`, when non-empty, keeps only events
+    /// whose detail matches (e.g. "eth").  Used to compare FLD vs CPU
+    /// driver runs, whose doorbell/CQE cadence legitimately differs but
+    /// whose per-packet payload movement must not.
+    ///
+    std::vector<std::vector<TraceEventKind>>
+    causal_skeletons(const std::string& detail_filter = "") const;
+
+private:
+    static Tracer* active_;
+    std::vector<TraceEvent> events_;
+    uint64_t last_corr_ = 0;
+};
+
+///
+/// Validates causal and byte-accounting invariants over a recorded trace.
+/// Returns a list of human-readable violations; empty means the trace is
+/// consistent with the Fig-7 PCIe accounting model and the causal rules.
+///
+/// Invariants:
+///  1. Time is monotonically non-decreasing.
+///  2. No descriptor fetch before its doorbell: per (actor, sq|rq, queue),
+///     every WqeFetch must lie below the highest producer index advertised
+///     by a preceding DoorbellWrite (indices compared with uint32 wrap).
+///  3. Wire causality per correlation id: an Rx CQE for corr c requires a
+///     preceding WireRx for c (count-based, applied to corrs that actually
+///     crossed the wire); and WireRx(c) <= WireTx(c) + duplications(c).
+///  4. Byte accounting matches the Fig-7 overhead model: doorbells are 4 B
+///     (or 4+64 B inline), SQ fetches are count*64 B, RQ fetches are
+///     count*16 B, title CQEs 64 B, mini CQEs 16 B; and for Ethernet corrs
+///     the payload byte count is identical across PayloadRead, WireTx,
+///     WireRx and PayloadWrite.
+///  5. Exactly-once completion: at most one TxOk CQE per (actor, queue,
+///     WQE) even under loss/duplication faults.
+///
+class TraceChecker {
+public:
+    std::vector<std::string> check(const std::vector<TraceEvent>& events);
+};
+
+} // namespace fld::sim

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/scenarios.h"
+#include "sim/trace.h"
 
 namespace fld::apps {
 namespace {
@@ -88,6 +89,29 @@ lossy(double drop_prob, uint64_t seed = 42)
     return tb;
 }
 
+/**
+ * Records the packet-lifecycle trace of a fault scenario and checks
+ * the causal invariants over it: recovery paths must stay *ordered*
+ * (no completion without its wire arrival, no fetch past its doorbell,
+ * exactly-once TxOk per WQE), not merely deliver the right counts.
+ * Construct before the scenario so setup doorbells are captured.
+ */
+struct ScopedTraceCheck
+{
+    sim::Tracer tracer;
+    ScopedTraceCheck() { tracer.install(); }
+
+    void verify()
+    {
+        tracer.uninstall();
+        EXPECT_GT(tracer.events().size(), 0u) << "nothing was traced";
+        sim::TraceChecker checker;
+        auto v = checker.check(tracer.events());
+        EXPECT_TRUE(v.empty())
+            << v.size() << " trace invariant violations, first: " << v[0];
+    }
+};
+
 // ---------------------------------------------------------------------
 // Exactly-once RC delivery under loss (1–10%), with the go-back-N
 // retransmit count checked against its analytic bound: every timeout
@@ -101,12 +125,14 @@ class LossRecovery : public ::testing::TestWithParam<double>
 
 TEST_P(LossRecovery, ExactlyOnceDeliveryWithBoundedRetransmits)
 {
+    ScopedTraceCheck trace;
     auto s = make_fldr_echo(true, lossy(GetParam()));
     EchoRun r;
     run_echo(*s, r, /*total=*/50, /*bytes=*/2048, /*window=*/8);
     if (::testing::Test::HasFatalFailure())
         return;
     expect_exactly_once(r, 50);
+    trace.verify();
 
     const sim::FaultCounters& fc = s->tb->fault_plan->counters();
     EXPECT_GT(fc.wire_frames, 100u); // the plan really saw the traffic
@@ -221,6 +247,7 @@ TEST(Corruption, CorruptedFramesAreRecovered)
 
 TEST(Duplication, DuplicatedFramesNeverDeliverTwice)
 {
+    ScopedTraceCheck trace;
     TestbedConfig tb;
     tb.fault_seed = 42;
     tb.nic.wire_faults.duplicate_prob = 0.2;
@@ -230,6 +257,7 @@ TEST(Duplication, DuplicatedFramesNeverDeliverTwice)
     if (::testing::Test::HasFatalFailure())
         return;
     expect_exactly_once(r, 50);
+    trace.verify();
 
     EXPECT_GT(s->tb->fault_plan->counters().wire_duplicates, 0u);
     EXPECT_EQ(s->tb->server_nic->stats().rdma_retransmits +
@@ -245,6 +273,7 @@ TEST(Duplication, DuplicatedFramesNeverDeliverTwice)
 
 TEST(Reordering, LateFramesAreToleratedExactlyOnce)
 {
+    ScopedTraceCheck trace;
     TestbedConfig tb;
     tb.fault_seed = 42;
     tb.nic.wire_faults.reorder_prob = 0.1;
@@ -255,6 +284,7 @@ TEST(Reordering, LateFramesAreToleratedExactlyOnce)
         return;
     expect_exactly_once(r, 50);
     EXPECT_GT(s->tb->fault_plan->counters().wire_reorders, 0u);
+    trace.verify();
 }
 
 // ---------------------------------------------------------------------

@@ -88,6 +88,65 @@ TEST(EventQueue, ClearDropsPending)
     EXPECT_EQ(fired, 0);
 }
 
+TEST(EventQueue, SameTickFifoAcrossReentrantScheduling)
+{
+    // Sequence numbers keep same-tick events FIFO even when some are
+    // scheduled from inside a callback already running at that tick.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule_at(50, [&] {
+        order.push_back(0);
+        eq.schedule_at(50, [&] { order.push_back(3); });
+        eq.schedule_in(0, [&] { order.push_back(4); });
+    });
+    eq.schedule_at(50, [&] { order.push_back(1); });
+    eq.schedule_at(50, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilExactDeadlineEventFires)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule_at(200, [&] { ++fired; });
+    EXPECT_EQ(eq.run_until(200), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 200u);
+}
+
+TEST(EventQueue, RepeatedRunUntilAdvancesMonotonically)
+{
+    EventQueue eq;
+    eq.run_until(100);
+    EXPECT_EQ(eq.now(), 100u);
+    eq.run_until(100); // deadline == now: no-op
+    EXPECT_EQ(eq.now(), 100u);
+    eq.run_until(250);
+    EXPECT_EQ(eq.now(), 250u);
+}
+
+TEST(EventQueue, ClearBetweenPhasesPreservesClock)
+{
+    // A testbed may drop queued work between phases; the clock must not
+    // rewind and later scheduling must still be deterministic.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule_at(100, [&] { order.push_back(1); });
+    eq.schedule_at(500, [&] { order.push_back(99); }); // dropped below
+    eq.run_until(100);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.clear();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.now(), 100u);
+
+    eq.schedule_at(150, [&] { order.push_back(2); });
+    eq.schedule_at(150, [&] { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 150u);
+}
+
 TEST(EventQueueDeath, SchedulingIntoPastPanics)
 {
     EventQueue eq;

@@ -1,6 +1,8 @@
 /** @file Histogram and RateMeter tests. */
 #include "sim/stats.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 namespace fld::sim {
@@ -42,8 +44,29 @@ TEST(Histogram, EmptyIsSafe)
 {
     Histogram h;
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
-    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
     EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, EmptyPercentileIsNan)
+{
+    // An empty distribution has no percentiles: NaN, not a plausible
+    // zero-latency reading.
+    Histogram h;
+    EXPECT_TRUE(std::isnan(h.percentile(50)));
+    EXPECT_TRUE(std::isnan(h.median()));
+    EXPECT_TRUE(std::isnan(h.percentile(0)));
+    EXPECT_TRUE(std::isnan(h.percentile(99.9)));
+}
+
+TEST(Histogram, PercentileRecoversAfterClear)
+{
+    Histogram h;
+    h.add(7.0);
+    EXPECT_DOUBLE_EQ(h.median(), 7.0);
+    h.clear();
+    EXPECT_TRUE(std::isnan(h.median()));
+    h.add(3.0);
+    EXPECT_DOUBLE_EQ(h.median(), 3.0);
 }
 
 TEST(Histogram, StddevOfKnownSet)

@@ -1,0 +1,291 @@
+/** @file Tracer recording, export, digest and TraceChecker tests. */
+#include "sim/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace fld::sim {
+namespace {
+
+TEST(Tracer, InactiveByDefault)
+{
+    EXPECT_EQ(Tracer::active(), nullptr);
+}
+
+TEST(Tracer, InstallUninstallLifecycle)
+{
+    {
+        Tracer tr;
+        tr.install();
+        EXPECT_EQ(Tracer::active(), &tr);
+        tr.uninstall();
+        EXPECT_EQ(Tracer::active(), nullptr);
+        tr.install(); // destructor must uninstall too
+    }
+    EXPECT_EQ(Tracer::active(), nullptr);
+}
+
+TEST(Tracer, CorrIdsAreFreshAndNonZero)
+{
+    Tracer tr;
+    uint64_t a = tr.next_corr();
+    uint64_t b = tr.next_corr();
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(a, b);
+}
+
+TEST(Tracer, EmitRecordsAllFields)
+{
+    Tracer tr;
+    tr.emit(123, TraceEventKind::WireTx, "nic0", "frame", 7, 2, 9, 1, 64);
+    ASSERT_EQ(tr.events().size(), 1u);
+    const TraceEvent& ev = tr.events().front();
+    EXPECT_EQ(ev.time, 123u);
+    EXPECT_EQ(ev.kind, TraceEventKind::WireTx);
+    EXPECT_EQ(ev.actor, "nic0");
+    EXPECT_STREQ(ev.detail, "frame");
+    EXPECT_EQ(ev.corr, 7u);
+    EXPECT_EQ(ev.queue, 2u);
+    EXPECT_EQ(ev.index, 9u);
+    EXPECT_EQ(ev.bytes, 64u);
+}
+
+TEST(Tracer, DigestIgnoresTimestampsAndRenumbersCorrs)
+{
+    Tracer a;
+    a.emit(100, TraceEventKind::WireTx, "nic0", "frame", 55, 0, 0, 1, 64);
+    a.emit(200, TraceEventKind::WireRx, "nic1", "frame", 55, 0, 0, 1, 64);
+    Tracer b;
+    // Same causal content, different times and raw corr ids.
+    b.emit(900, TraceEventKind::WireTx, "nic0", "frame", 77, 0, 0, 1, 64);
+    b.emit(950, TraceEventKind::WireRx, "nic1", "frame", 77, 0, 0, 1, 64);
+    EXPECT_EQ(a.digest(), b.digest());
+
+    Tracer c; // different causal content must digest differently
+    c.emit(100, TraceEventKind::WireTx, "nic0", "frame", 55, 0, 0, 1, 64);
+    EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(Tracer, ChromeJsonExportIsWellFormed)
+{
+    Tracer tr;
+    tr.emit(1500000, TraceEventKind::DoorbellWrite, "nic0", "sq", 0, 1, 4,
+            1, 4);
+    tr.emit(2500000, TraceEventKind::CqeWrite, "nic0", "TxOk", 3, 1, 4, 1,
+            64);
+    std::string path = testing::TempDir() + "trace_export_test.json";
+    ASSERT_TRUE(tr.write_chrome_json(path));
+
+    std::ifstream f(path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    std::string json = ss.str();
+    // Structural smoke checks: the Chrome trace-event envelope, one
+    // metadata record per actor, and our payload fields.
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("DoorbellWrite sq"), std::string::npos);
+    EXPECT_NE(json.find("CqeWrite TxOk"), std::string::npos);
+    EXPECT_NE(json.find("\"corr\":3"), std::string::npos);
+    // Balanced braces/brackets (cheap well-formedness proxy).
+    long depth = 0;
+    for (char ch : json) {
+        if (ch == '{' || ch == '[')
+            depth++;
+        if (ch == '}' || ch == ']')
+            depth--;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------------
+// TraceChecker on hand-built traces
+// --------------------------------------------------------------------
+
+class CheckerTest : public testing::Test
+{
+  protected:
+    Tracer tr;
+    TraceChecker checker;
+
+    std::vector<std::string> violations()
+    {
+        return checker.check(tr.events());
+    }
+
+    void doorbell(TimePs t, uint32_t q, uint32_t pi)
+    {
+        tr.emit(t, TraceEventKind::DoorbellWrite, "nic", "sq", 0, q, pi, 1,
+                4);
+    }
+    void fetch(TimePs t, uint32_t q, uint32_t idx, uint32_t n)
+    {
+        tr.emit(t, TraceEventKind::WqeFetch, "nic", "sq", 0, q, idx, n,
+                uint64_t(n) * 64);
+    }
+};
+
+TEST_F(CheckerTest, CleanTracePasses)
+{
+    doorbell(100, 0, 2);
+    fetch(200, 0, 0, 2);
+    tr.emit(300, TraceEventKind::PayloadRead, "nic", "eth", 1, 0, 0, 1,
+            256);
+    tr.emit(400, TraceEventKind::WireTx, "nic", "frame", 1, 0, 0, 1, 256);
+    tr.emit(500, TraceEventKind::WireRx, "nic2", "frame", 1, 0, 0, 1, 256);
+    tr.emit(600, TraceEventKind::PayloadWrite, "nic2", "eth", 1, 5, 0, 1,
+            256);
+    tr.emit(700, TraceEventKind::CqeWrite, "nic2", "Rx", 1, 5, 0, 1, 64);
+    EXPECT_TRUE(violations().empty());
+}
+
+TEST_F(CheckerTest, DetectsTimeGoingBackwards)
+{
+    doorbell(500, 0, 1);
+    fetch(400, 0, 0, 1);
+    auto v = violations();
+    ASSERT_FALSE(v.empty());
+    EXPECT_NE(v[0].find("time went backwards"), std::string::npos);
+}
+
+TEST_F(CheckerTest, DetectsFetchBeforeDoorbell)
+{
+    fetch(100, 0, 0, 1);
+    auto v = violations();
+    ASSERT_FALSE(v.empty());
+    EXPECT_NE(v[0].find("before any doorbell"), std::string::npos);
+}
+
+TEST_F(CheckerTest, DetectsFetchBeyondDoorbell)
+{
+    doorbell(100, 0, 2);
+    fetch(200, 0, 0, 3); // three WQEs fetched, only two advertised
+    auto v = violations();
+    ASSERT_FALSE(v.empty());
+    EXPECT_NE(v[0].find("beyond doorbell"), std::string::npos);
+}
+
+TEST_F(CheckerTest, AcceptsWrappedProducerIndices)
+{
+    // Producer counters are free-running uint32; a doorbell just past
+    // the wrap must still cover a fetch issued below the wrap.
+    doorbell(100, 0, 0xFFFFFFFEu);
+    fetch(150, 0, 0xFFFFFFFCu, 2);
+    doorbell(200, 0, 3); // wrapped: 0xFFFFFFFE + 5
+    fetch(250, 0, 0xFFFFFFFEu, 5);
+    EXPECT_TRUE(violations().empty());
+}
+
+TEST_F(CheckerTest, IgnoresStaleReorderedDoorbell)
+{
+    doorbell(100, 0, 4);
+    doorbell(200, 0, 2); // delivered late; producer index is cumulative
+    fetch(300, 0, 0, 4);
+    EXPECT_TRUE(violations().empty());
+}
+
+TEST_F(CheckerTest, DetectsRxCqeWithoutWireArrival)
+{
+    tr.emit(100, TraceEventKind::WireTx, "nic", "frame", 9, 0, 0, 1, 128);
+    // Frame never arrived (dropped), yet a completion shows up.
+    tr.emit(200, TraceEventKind::CqeWrite, "nic2", "Rx", 9, 0, 0, 1, 64);
+    auto v = violations();
+    ASSERT_FALSE(v.empty());
+    EXPECT_NE(v[0].find("without a preceding wire arrival"),
+              std::string::npos);
+}
+
+TEST_F(CheckerTest, AcceptsLoopbackCqeWithoutWireEvents)
+{
+    // Loopback delivery never touches the wire: no WireTx for the corr
+    // means the wire-causality rule does not apply.
+    tr.emit(100, TraceEventKind::PayloadRead, "nic", "eth", 4, 0, 0, 1,
+            64);
+    tr.emit(200, TraceEventKind::PayloadWrite, "nic", "eth", 4, 0, 0, 1,
+            64);
+    tr.emit(300, TraceEventKind::CqeWrite, "nic", "Rx", 4, 0, 0, 1, 64);
+    EXPECT_TRUE(violations().empty());
+}
+
+TEST_F(CheckerTest, DetectsMoreArrivalsThanSends)
+{
+    tr.emit(100, TraceEventKind::WireTx, "nic", "frame", 5, 0, 0, 1, 128);
+    tr.emit(200, TraceEventKind::WireRx, "nic2", "frame", 5, 0, 0, 1, 128);
+    tr.emit(300, TraceEventKind::WireRx, "nic2", "frame", 5, 0, 0, 1, 128);
+    auto v = violations();
+    ASSERT_FALSE(v.empty());
+    EXPECT_NE(v[0].find("arrived"), std::string::npos);
+}
+
+TEST_F(CheckerTest, AcceptsDuplicationFaultExplainingExtraArrival)
+{
+    tr.emit(100, TraceEventKind::WireTx, "nic", "frame", 5, 0, 0, 1, 128);
+    tr.emit(110, TraceEventKind::FaultInject, "nic", "dup", 5, 0, 0, 1,
+            128);
+    tr.emit(200, TraceEventKind::WireRx, "nic2", "frame", 5, 0, 0, 1, 128);
+    tr.emit(300, TraceEventKind::WireRx, "nic2", "frame", 5, 0, 0, 1, 128);
+    EXPECT_TRUE(violations().empty());
+}
+
+TEST_F(CheckerTest, DetectsBadDescriptorByteAccounting)
+{
+    doorbell(100, 0, 1);
+    tr.emit(200, TraceEventKind::WqeFetch, "nic", "sq", 0, 0, 0, 1, 48);
+    auto v = violations();
+    ASSERT_FALSE(v.empty());
+    EXPECT_NE(v[0].find("stride"), std::string::npos);
+}
+
+TEST_F(CheckerTest, DetectsBadDoorbellSize)
+{
+    tr.emit(100, TraceEventKind::DoorbellWrite, "nic", "sq", 0, 0, 1, 1,
+            8);
+    auto v = violations();
+    ASSERT_FALSE(v.empty());
+    EXPECT_NE(v[0].find("doorbell"), std::string::npos);
+}
+
+TEST_F(CheckerTest, DetectsPayloadSizeChangingMidFlight)
+{
+    tr.emit(100, TraceEventKind::PayloadRead, "nic", "eth", 3, 0, 0, 1,
+            256);
+    tr.emit(200, TraceEventKind::WireTx, "nic", "frame", 3, 0, 0, 1, 200);
+    auto v = violations();
+    ASSERT_FALSE(v.empty());
+    EXPECT_NE(v[0].find("changed payload size"), std::string::npos);
+}
+
+TEST_F(CheckerTest, DetectsDuplicateTxOkCompletion)
+{
+    tr.emit(100, TraceEventKind::CqeWrite, "nic", "TxOk", 6, 1, 9, 1, 64);
+    tr.emit(200, TraceEventKind::CqeWrite, "nic", "TxOk", 6, 1, 9, 1, 64);
+    auto v = violations();
+    ASSERT_FALSE(v.empty());
+    EXPECT_NE(v[0].find("duplicate TxOk"), std::string::npos);
+}
+
+TEST(TracerSkeletons, FiltersAndGroupsByCorr)
+{
+    Tracer tr;
+    tr.emit(100, TraceEventKind::PayloadRead, "nic", "eth", 1, 0, 0, 1,
+            64);
+    tr.emit(150, TraceEventKind::DoorbellWrite, "nic", "sq", 1, 0, 1, 1,
+            4); // non-datapath kind: excluded
+    tr.emit(200, TraceEventKind::WireTx, "nic", "frame", 1, 0, 0, 1, 64);
+    tr.emit(300, TraceEventKind::PayloadRead, "nic", "rdma", 2, 0, 0, 1,
+            64); // filtered out by detail
+    auto sk = tr.causal_skeletons("eth");
+    ASSERT_EQ(sk.size(), 1u);
+    EXPECT_EQ(sk[0], (std::vector<TraceEventKind>{
+                         TraceEventKind::PayloadRead,
+                         TraceEventKind::WireTx}));
+}
+
+} // namespace
+} // namespace fld::sim
