@@ -36,14 +36,11 @@ ablate_signal_interval()
     for (uint32_t interval : {1u, 4u, 16u, 64u}) {
         TestbedConfig tc;
         tc.fld.signal_interval = interval;
-        PktGenConfig g;
-        g.frame_size = 64;
-        g.offered_gbps = 26.0;
+        PktGenConfig g = bench::open_loop_gen(64);
         auto s = make_fld_echo(true, g, tc);
         s->gen->start(sim::milliseconds(1), sim::milliseconds(3));
         s->tb->eq.run();
-        double gbps = s->gen->rx_meter().gbps(s->gen->measure_start(),
-                                              s->gen->measure_end());
+        double gbps = bench::measured_gbps(*s->gen);
         // TX CQEs per transmitted packet x 88 wire bytes.
         double cqe_wire =
             88.0 *
@@ -70,10 +67,8 @@ ablate_wqe_by_mmio()
     for (bool enabled : {true, false}) {
         TestbedConfig tc;
         tc.fld.wqe_by_mmio = enabled;
-        PktGenConfig g;
-        g.frame_size = 64;
-        g.window = 1;
-        g.measure_rtt = true;
+        PktGenConfig g =
+            bench::closed_loop_gen(64, 1, /*measure_rtt=*/true);
         auto s = make_fld_echo(true, g, tc);
         // The generator driver flag lives in the scenario's driver;
         // FLD-side inline is what we toggle here.
@@ -98,15 +93,12 @@ ablate_fetch_pipelining()
     for (uint32_t inflight : {1u, 2u, 4u, 16u}) {
         TestbedConfig tc;
         tc.nic.max_fetches_inflight = inflight;
-        PktGenConfig g;
-        g.frame_size = 64;
-        g.offered_gbps = 26.0;
+        PktGenConfig g = bench::open_loop_gen(64);
         auto s = make_fld_echo(true, g, tc);
         s->gen->start(sim::milliseconds(1), sim::milliseconds(3));
         s->tb->eq.run();
         t.row({strfmt("%u", inflight),
-               format_gbps(s->gen->rx_meter().gbps(
-                   s->gen->measure_start(), s->gen->measure_end()))});
+               format_gbps(bench::measured_gbps(*s->gen))});
     }
     t.print();
     bench::note("small-packet rates need several descriptor reads in "
@@ -222,14 +214,11 @@ ablate_cqe_compression()
     for (bool enabled : {false, true}) {
         TestbedConfig tc;
         tc.nic.cqe_compression = enabled;
-        PktGenConfig g;
-        g.frame_size = 64;
-        g.offered_gbps = 26.0;
+        PktGenConfig g = bench::open_loop_gen(64);
         auto s = make_fld_echo(true, g, tc);
         s->gen->start(sim::milliseconds(1), sim::milliseconds(3));
         s->tb->eq.run();
-        double gbps = s->gen->rx_meter().gbps(s->gen->measure_start(),
-                                              s->gen->measure_end());
+        double gbps = bench::measured_gbps(*s->gen);
         // Rough per-packet CQ wire estimate from CQE counts: with
         // compression most completions ride as 16 B minis + shared
         // header instead of 88 B writes.

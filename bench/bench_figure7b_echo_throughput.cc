@@ -22,33 +22,18 @@ constexpr sim::TimePs kDuration = sim::milliseconds(4);
 double
 run_fld_echo(bool remote, size_t frame)
 {
-    PktGenConfig g;
-    g.frame_size = frame;
-    if (remote) {
-        g.offered_gbps = 26.0; // open loop just past line rate
-    } else {
-        // Local has no wire pacing: a closed loop self-regulates at
-        // the PCIe bottleneck instead of collapsing under overload.
-        g.window = 256;
-    }
-    auto s = make_fld_echo(remote, g);
-    s->gen->start(kWarmup, kDuration);
-    s->tb->eq.run();
-    return s->gen->rx_meter().gbps(s->gen->measure_start(),
-                                   s->gen->measure_end());
+    // Local has no wire pacing: a closed loop self-regulates at the
+    // PCIe bottleneck instead of collapsing under overload.
+    PktGenConfig g = remote ? bench::open_loop_gen(frame)
+                            : bench::closed_loop_gen(frame, 256);
+    return bench::run_fld_echo_gbps(remote, g, kWarmup, kDuration);
 }
 
 double
 run_cpu_echo(size_t frame)
 {
-    PktGenConfig g;
-    g.frame_size = frame;
-    g.offered_gbps = 26.0;
-    auto s = make_cpu_echo(true, g);
-    s->gen->start(kWarmup, kDuration);
-    s->tb->eq.run();
-    return s->gen->rx_meter().gbps(s->gen->measure_start(),
-                                   s->gen->measure_end());
+    return bench::run_cpu_echo_gbps(true, bench::open_loop_gen(frame),
+                                    kWarmup, kDuration);
 }
 
 double
@@ -82,29 +67,17 @@ run_fldr_echo(bool remote, size_t msg_bytes)
 double
 run_mix_mpps(bool fld)
 {
-    PktGenConfig g;
-    g.imc_mix = true;
-    g.offered_gbps = 26.0;
-    g.flows = 16;
-    double mpps = 0;
+    PktGenConfig g = bench::imc_mix_gen();
     if (fld) {
         auto s = make_fld_echo(true, g);
         s->gen->start(kWarmup, kDuration);
         s->tb->eq.run();
-        mpps = double(s->gen->rx_count()) /
-               sim::to_us(s->gen->measure_end() -
-                          s->gen->measure_start());
-        // rx_count includes warmup; recompute from meter instead.
-        mpps = s->gen->rx_meter().mpps(s->gen->measure_start(),
-                                       s->gen->measure_end());
-    } else {
-        auto s = make_cpu_echo(true, g);
-        s->gen->start(kWarmup, kDuration);
-        s->tb->eq.run();
-        mpps = s->gen->rx_meter().mpps(s->gen->measure_start(),
-                                       s->gen->measure_end());
+        return bench::measured_mpps(*s->gen);
     }
-    return mpps;
+    auto s = make_cpu_echo(true, g);
+    s->gen->start(kWarmup, kDuration);
+    s->tb->eq.run();
+    return bench::measured_mpps(*s->gen);
 }
 
 /**

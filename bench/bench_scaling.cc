@@ -71,16 +71,13 @@ run_with_queues(uint32_t queues)
     uint32_t ctir = tb.client_nic->create_tir({{gen_driver.rqn(1)}});
     tb.client_nic->set_vport_default_tir(tb.client_app_vport, ctir);
 
-    PktGenConfig g;
-    g.frame_size = 64;
-    g.offered_gbps = 26.0;
-    g.flows = 64;
+    PktGenConfig g = bench::open_loop_gen(64, bench::kOpenLoopGbps,
+                                          /*flows=*/64);
     PacketGen gen(tb.eq, gen_driver, 0, g);
     tb.eq.run();
     gen.start(sim::milliseconds(1), sim::milliseconds(4));
     tb.eq.run();
-    return gen.rx_meter().gbps(gen.measure_start(),
-                               gen.measure_end());
+    return bench::measured_gbps(gen);
 }
 
 } // namespace

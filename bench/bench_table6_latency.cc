@@ -17,10 +17,8 @@ namespace {
 sim::Histogram
 run_echo_rtt(bool fld)
 {
-    PktGenConfig g;
-    g.frame_size = 64;
-    g.window = 1; // unloaded
-    g.measure_rtt = true;
+    // window=1: unloaded round trips.
+    PktGenConfig g = bench::closed_loop_gen(64, 1, /*measure_rtt=*/true);
 
     sim::TimePs warmup = sim::microseconds(200);
     sim::TimePs duration = sim::milliseconds(120);

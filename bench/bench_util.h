@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <string>
 
+#include "apps/scenarios.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -43,6 +44,89 @@ parse_trace_option(int argc, char** argv)
             return arg.substr(prefix.size());
     }
     return {};
+}
+
+// ---------------------------------------------------------------------
+// Canonical workload/config builders. These used to be copy-pasted in
+// every bench binary; they are also the scenario fuzzer's default-
+// config base, so the randomized runs start from the same calibrated
+// setup the paper reproductions use.
+// ---------------------------------------------------------------------
+
+/** Open-loop offered rate used across benches: just past the 25 GbE
+ *  line rate, so the device under test is the bottleneck. */
+constexpr double kOpenLoopGbps = 26.0;
+
+/** testpmd-style open-loop generator at @p gbps offered load. */
+inline apps::PktGenConfig
+open_loop_gen(size_t frame, double gbps = kOpenLoopGbps,
+              uint32_t flows = 1)
+{
+    apps::PktGenConfig g;
+    g.frame_size = frame;
+    g.offered_gbps = gbps;
+    g.flows = flows;
+    return g;
+}
+
+/** Closed-loop generator with @p window outstanding packets. */
+inline apps::PktGenConfig
+closed_loop_gen(size_t frame, uint32_t window, bool measure_rtt = false)
+{
+    apps::PktGenConfig g;
+    g.frame_size = frame;
+    g.window = window;
+    g.measure_rtt = measure_rtt;
+    return g;
+}
+
+/** IMC-2010 mixed-size open-loop generator (§8.1.1 packet rates). */
+inline apps::PktGenConfig
+imc_mix_gen(uint32_t flows = 16, double gbps = kOpenLoopGbps)
+{
+    apps::PktGenConfig g;
+    g.imc_mix = true;
+    g.offered_gbps = gbps;
+    g.flows = flows;
+    return g;
+}
+
+/** Delivered goodput over a finished generator's measure window. */
+inline double
+measured_gbps(const apps::PacketGen& gen)
+{
+    return gen.rx_meter().gbps(gen.measure_start(), gen.measure_end());
+}
+
+/** Delivered packet rate over a finished generator's measure window. */
+inline double
+measured_mpps(const apps::PacketGen& gen)
+{
+    return gen.rx_meter().mpps(gen.measure_start(), gen.measure_end());
+}
+
+/** Build, run and measure one FLD-E echo exchange. */
+inline double
+run_fld_echo_gbps(bool remote, const apps::PktGenConfig& g,
+                  sim::TimePs warmup, sim::TimePs duration,
+                  apps::TestbedConfig tc = {})
+{
+    auto s = apps::make_fld_echo(remote, g, tc);
+    s->gen->start(warmup, duration);
+    s->tb->eq.run();
+    return measured_gbps(*s->gen);
+}
+
+/** Build, run and measure one CPU-driver echo exchange. */
+inline double
+run_cpu_echo_gbps(bool remote, const apps::PktGenConfig& g,
+                  sim::TimePs warmup, sim::TimePs duration,
+                  apps::TestbedConfig tc = {})
+{
+    auto s = apps::make_cpu_echo(remote, g, tc);
+    s->gen->start(warmup, duration);
+    s->tb->eq.run();
+    return measured_gbps(*s->gen);
 }
 
 } // namespace fld::bench

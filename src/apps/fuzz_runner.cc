@@ -1,0 +1,342 @@
+#include "apps/fuzz_runner.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/trace.h"
+#include "util/strings.h"
+
+namespace fld::apps {
+
+namespace {
+
+/** Id-derived message payload (shared idiom with the fault tests). */
+std::vector<uint8_t>
+payload_for(uint32_t id, size_t bytes)
+{
+    std::vector<uint8_t> p(bytes);
+    for (size_t i = 0; i < bytes; ++i)
+        p[i] = uint8_t((id * 131u) ^ (i * 7u));
+    return p;
+}
+
+uint64_t
+nic_drops(const nic::NicStats& st)
+{
+    return st.drops_no_buffer + st.drops_rule + st.drops_meter +
+           st.drops_no_rule;
+}
+
+void
+fill_fault_counters(const Testbed& tb, FuzzRunDigest& d)
+{
+    if (tb.fault_plan)
+        d.faults = tb.fault_plan->counters();
+}
+
+} // namespace
+
+std::string
+FuzzRunDigest::to_string() const
+{
+    std::ostringstream os;
+    os << "--- run " << label << " ---\n";
+    os << "tx = " << tx << "\n";
+    os << "rx = " << rx << "\n";
+    os << "bad_payload = " << bad_payload << "\n";
+    if (duplicate_msgs || missing_msgs)
+        os << "duplicate_msgs = " << duplicate_msgs
+           << "\nmissing_msgs = " << missing_msgs << "\n";
+    os << "drops = " << drops << "\n";
+    for (const auto& [flow, digest] : flow_digests)
+        os << "flow " << flow << " digest = " << strfmt("%016llx",
+                          (unsigned long long)digest)
+           << "\n";
+    os << "conservation: " << ledger.summary() << "\n";
+    os << "faults: " << faults.summary() << "\n";
+    os << "trace_violations = " << trace_violations.size() << "\n";
+    os << "trace_hash = "
+       << strfmt("%016llx", (unsigned long long)trace_hash) << "\n";
+    os << "end_time_ps = " << end_time << "\n";
+    return os.str();
+}
+
+PktGenConfig
+FuzzRunner::gen_config(const sim::FuzzScenario& s) const
+{
+    PktGenConfig g = opt_.base_gen;
+    g.imc_mix = s.workload.imc_mix;
+    g.frame_size =
+        std::clamp<size_t>(s.workload.bytes, 64, std::max(64u, s.mtu));
+    g.flows = std::max(1u, s.workload.flows);
+    if (s.workload.window == 0) {
+        g.window = 0;
+        g.offered_gbps = s.workload.offered_gbps;
+    } else {
+        g.window = s.workload.window;
+        g.offered_gbps = 0.0;
+    }
+    g.max_packets = s.workload.packets;
+    g.pattern_payload = true;
+    g.flow_digests = true;
+    g.measure_rtt = false;
+    g.vxlan = s.vxlan;
+    g.vni = s.vni;
+    // Same generator seed for both runs of a scenario: the request
+    // streams must be identical for the differential comparison.
+    g.seed = s.seed ^ 0x9e3779b97f4a7c15ull;
+    return g;
+}
+
+TestbedConfig
+FuzzRunner::tb_config(const sim::FuzzScenario& s) const
+{
+    TestbedConfig tb = opt_.base_tb;
+    tb.nic.cqe_compression = s.cqe_compression;
+    tb.nic.cqe_coalesce_window = sim::nanoseconds(double(s.coalesce_ns));
+    if (s.fetch_inflight)
+        tb.nic.max_fetches_inflight = s.fetch_inflight;
+    tb.nic.wire_faults = s.faults.wire;
+    tb.tlp.faults = s.faults.pcie;
+    tb.accel_faults = s.faults.accel;
+    tb.fault_seed = s.faults.seed;
+    return tb;
+}
+
+EchoOptions
+FuzzRunner::echo_options(const sim::FuzzScenario& s) const
+{
+    EchoOptions opt;
+    opt.echo_queues = std::max(1u, s.echo_queues);
+    opt.vxlan = s.vxlan;
+    if (s.rx_buffers)
+        opt.driver_base.rx_buffers = s.rx_buffers;
+    if (s.rx_strides)
+        opt.driver_base.rx_strides = s.rx_strides;
+    if (s.rx_stride_shift)
+        opt.driver_base.rx_stride_shift = s.rx_stride_shift;
+    if (s.signal_interval)
+        opt.driver_base.signal_interval = s.signal_interval;
+    opt.driver_base.wqe_by_mmio = s.wqe_by_mmio;
+    return opt;
+}
+
+FuzzRunDigest
+FuzzRunner::run_eth(const sim::FuzzScenario& s, bool fld_path)
+{
+    FuzzRunDigest d;
+    d.label = fld_path ? "fld" : "cpu";
+
+    sim::Tracer tracer;
+    if (opt_.check_trace)
+        tracer.install(); // before construction: capture setup too
+
+    PktGenConfig g = gen_config(s);
+    TestbedConfig tbc = tb_config(s);
+    EchoOptions eopt = echo_options(s);
+
+    auto drive = [&](Testbed& tb, PacketGen& gen,
+                     driver::CpuDriver& gen_driver) {
+        if (s.shaper_gbps > 0)
+            tb.client_nic->set_sq_rate(gen_driver.sqn(0),
+                                       s.shaper_gbps);
+        gen.start(0, opt_.run_duration);
+        tb.eq.run();
+
+        d.tx = gen.tx_count();
+        d.rx = gen.rx_count();
+        d.bad_payload = gen.bad_payload();
+        d.flow_digests = gen.flow_digests();
+        d.end_time = tb.eq.now();
+        fill_fault_counters(tb, d);
+    };
+
+    uint64_t shed = 0; // load shed outside the NIC drop counters
+    if (fld_path) {
+        auto s2 = make_fld_echo(true, g, tbc, eopt);
+        drive(*s2->tb, *s2->gen, *s2->gen_driver);
+        d.drops = nic_drops(s2->tb->server_nic->stats()) +
+                  nic_drops(s2->tb->client_nic->stats());
+        shed = s2->gen_driver->stats().rx_overload_dropped +
+               s2->echo->stats().dropped_overload +
+               s2->echo->stats().dropped_invalid +
+               s2->echo->stats().tx_failed;
+    } else {
+        auto s2 = make_cpu_echo(true, g, tbc, eopt);
+        drive(*s2->tb, *s2->gen, *s2->gen_driver);
+        d.drops = nic_drops(s2->tb->server_nic->stats()) +
+                  nic_drops(s2->tb->client_nic->stats());
+        shed = s2->gen_driver->stats().rx_overload_dropped +
+               s2->echo_driver->stats().rx_overload_dropped +
+               s2->echo_driver->stats().tx_backpressured;
+    }
+    d.drops += shed;
+
+    // Conservation from the generator's perspective: a request and its
+    // echo each cross the datapath, so any one of the named drop
+    // counters (or a wire fault) accounts for one missing echo.
+    d.ledger.tx = d.tx;
+    d.ledger.rx = d.rx;
+    d.ledger.accounted_losses =
+        d.faults.wire_drops + d.faults.wire_corruptions + d.drops;
+    d.ledger.duplicates = d.faults.wire_duplicates;
+
+    if (opt_.check_trace) {
+        tracer.uninstall();
+        sim::TraceChecker checker;
+        d.trace_violations = checker.check(tracer.events());
+        d.trace_hash = sim::fnv1a64_str(tracer.digest());
+    }
+    return d;
+}
+
+FuzzRunDigest
+FuzzRunner::run_rdma(const sim::FuzzScenario& s)
+{
+    FuzzRunDigest d;
+    d.label = "rdma";
+
+    sim::Tracer tracer;
+    if (opt_.check_trace)
+        tracer.install();
+
+    auto s2 = make_fldr_echo(true, tb_config(s));
+    Testbed& tb = *s2->tb;
+
+    const uint32_t total = s.workload.packets;
+    const size_t bytes = std::max<size_t>(16, s.workload.bytes);
+    const uint32_t window = std::max(1u, s.workload.window);
+
+    std::map<uint32_t, uint32_t> copies;
+    uint32_t next = 1;
+    auto post_next = [&] {
+        if (next <= total &&
+            s2->client->post_send(payload_for(next, bytes), next))
+            ++next;
+    };
+    s2->client->set_msg_handler(
+        [&](uint32_t id, std::vector<uint8_t>&& msg) {
+            copies[id]++;
+            if (msg != payload_for(id, bytes))
+                d.bad_payload++;
+            post_next();
+        });
+    for (uint32_t i = 0; i < window && i < total; ++i)
+        post_next();
+    tb.eq.run();
+
+    d.tx = s2->client->messages_sent();
+    d.rx = s2->client->messages_received();
+    d.end_time = tb.eq.now();
+    fill_fault_counters(tb, d);
+    for (uint32_t id = 1; id <= total; ++id) {
+        auto it = copies.find(id);
+        if (it == copies.end())
+            d.missing_msgs++;
+        else if (it->second > 1)
+            d.duplicate_msgs += it->second - 1;
+    }
+    d.drops = nic_drops(tb.server_nic->stats()) +
+              nic_drops(tb.client_nic->stats());
+
+    // The RC transport owes exactly-once delivery regardless of wire
+    // faults, so the ledger demands the exact identity: rx == tx.
+    d.ledger.tx = d.tx;
+    d.ledger.rx = d.rx;
+
+    if (opt_.check_trace) {
+        tracer.uninstall();
+        sim::TraceChecker checker;
+        d.trace_violations = checker.check(tracer.events());
+        d.trace_hash = sim::fnv1a64_str(tracer.digest());
+    }
+    return d;
+}
+
+FuzzVerdict
+FuzzRunner::run(const sim::FuzzScenario& scenario)
+{
+    FuzzVerdict v;
+    std::vector<FuzzRunDigest> runs;
+
+    if (scenario.workload.mode == sim::FuzzMode::RdmaEcho) {
+        runs.push_back(run_rdma(scenario));
+    } else {
+        runs.push_back(run_eth(scenario, /*fld_path=*/true));
+        runs.push_back(run_eth(scenario, /*fld_path=*/false));
+    }
+
+    auto fail = [&](std::string why) {
+        v.ok = false;
+        v.violations.push_back(std::move(why));
+    };
+
+    for (const FuzzRunDigest& d : runs) {
+        // Payload integrity holds unconditionally: corrupted frames
+        // are FCS-dropped on the wire, never delivered damaged.
+        if (d.bad_payload)
+            fail(strfmt("[%s] %llu deliveries with corrupted payload",
+                        d.label.c_str(),
+                        (unsigned long long)d.bad_payload));
+        for (const std::string& t : d.trace_violations)
+            fail(strfmt("[%s] trace: %s", d.label.c_str(), t.c_str()));
+        std::string c = d.ledger.check();
+        if (!c.empty())
+            fail(strfmt("[%s] %s", d.label.c_str(), c.c_str()));
+        if (d.duplicate_msgs)
+            fail(strfmt("[%s] %llu duplicate message deliveries",
+                        d.label.c_str(),
+                        (unsigned long long)d.duplicate_msgs));
+        if (d.missing_msgs)
+            fail(strfmt("[%s] %llu messages never delivered",
+                        d.label.c_str(),
+                        (unsigned long long)d.missing_msgs));
+    }
+
+    // Differential equivalence, judged only when timing-dependent load
+    // shedding cannot legitimately desynchronize the two runs.
+    if (runs.size() == 2) {
+        const FuzzRunDigest& fld = runs[0];
+        const FuzzRunDigest& cpu = runs[1];
+        bool clean = !scenario.has_faults() && fld.drops == 0 &&
+                     cpu.drops == 0;
+        if (clean) {
+            if (fld.tx != cpu.tx)
+                fail(strfmt("differential: tx mismatch fld=%llu "
+                            "cpu=%llu",
+                            (unsigned long long)fld.tx,
+                            (unsigned long long)cpu.tx));
+            if (fld.rx != cpu.rx)
+                fail(strfmt("differential: rx mismatch fld=%llu "
+                            "cpu=%llu",
+                            (unsigned long long)fld.rx,
+                            (unsigned long long)cpu.rx));
+            if (fld.rx != fld.tx)
+                fail(strfmt("fault-free fld run lost echoes: tx=%llu "
+                            "rx=%llu",
+                            (unsigned long long)fld.tx,
+                            (unsigned long long)fld.rx));
+            if (fld.flow_digests != cpu.flow_digests)
+                fail("differential: per-flow delivered payload streams "
+                     "differ between FLD and CPU runs");
+        }
+    }
+
+    std::ostringstream os;
+    os << "=== scenario ===\n"
+       << scenario.to_string() << "# " << scenario.summary() << "\n";
+    for (const FuzzRunDigest& d : runs)
+        os << d.to_string();
+    os << "--- verdict ---\n";
+    if (v.ok) {
+        os << "ok\n";
+    } else {
+        for (const std::string& why : v.violations)
+            os << "violation: " << why << "\n";
+    }
+    v.transcript = os.str();
+    v.transcript_hash = sim::fnv1a64_str(v.transcript);
+    return v;
+}
+
+} // namespace fld::apps

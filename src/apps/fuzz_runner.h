@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Materializes a sim::FuzzScenario into real testbeds and judges the
+ * four fuzzing oracles.
+ *
+ * An Ethernet scenario is run twice over the identical workload — once
+ * with the echo behind the hardware FLD, once with a testpmd-style CPU
+ * echo — and the runner checks:
+ *
+ *  (a) differential equivalence: the two runs deliver the same per-flow
+ *      multiset of payloads, byte-identical up to ordering (multi-SQ
+ *      spraying legitimately reorders within a flow). Only judged when
+ *      the scenario is fault-free and neither run shed load, since
+ *      drops are timing-dependent and legitimately differ;
+ *  (b) zero TraceChecker causal-invariant violations in either run;
+ *  (c) exactly-once delivery (RDMA scenarios: the RC transport must
+ *      deliver every message once, bytes intact, even under loss);
+ *  (d) conservation: tx = rx + accounted drops + in-flight, via the
+ *      sim::ConservationLedger over NIC/driver/AFU/fault counters.
+ *
+ * End-to-end payload integrity (pattern verification) is checked
+ * unconditionally — corrupted frames must be FCS-dropped, never
+ * delivered damaged.
+ */
+#ifndef FLD_APPS_FUZZ_RUNNER_H
+#define FLD_APPS_FUZZ_RUNNER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/pktgen.h"
+#include "apps/scenarios.h"
+#include "apps/testbed.h"
+#include "sim/fuzz.h"
+#include "sim/stats.h"
+
+namespace fld::apps {
+
+struct FuzzRunOptions
+{
+    /** Base testbed configuration the scenario's knobs are applied on
+     *  top of (benches share their calibrated defaults through this). */
+    TestbedConfig base_tb;
+    /** Base generator configuration (addressing, ports). */
+    PktGenConfig base_gen;
+    /** Record + check packet-lifecycle traces (oracle b). Uses the
+     *  process-global Tracer slot, so at most one FuzzRunner may have
+     *  this enabled per process at a time. */
+    bool check_trace = true;
+    /** Generator send-phase bound; the budgeted packet count is the
+     *  real stop condition, this only caps pathological stalls. */
+    sim::TimePs run_duration = sim::milliseconds(50);
+};
+
+/** Everything observable from one materialized run. */
+struct FuzzRunDigest
+{
+    std::string label;           ///< "fld" / "cpu" / "rdma"
+    uint64_t tx = 0;
+    uint64_t rx = 0;
+    uint64_t bad_payload = 0;    ///< delivered-with-wrong-bytes count
+    uint64_t duplicate_msgs = 0; ///< RDMA: messages delivered twice+
+    uint64_t missing_msgs = 0;   ///< RDMA: messages never delivered
+    uint64_t drops = 0;          ///< sum of all named drop counters
+    std::map<uint32_t, uint64_t> flow_digests;
+    sim::FaultCounters faults;
+    sim::ConservationLedger ledger;
+    std::vector<std::string> trace_violations;
+    uint64_t trace_hash = 0; ///< FNV of the causal trace digest
+    sim::TimePs end_time = 0;
+
+    /** Deterministic multi-line transcript block. */
+    std::string to_string() const;
+};
+
+struct FuzzVerdict
+{
+    bool ok = true;
+    std::vector<std::string> violations;
+    /** Full deterministic transcript: scenario dump + per-run digests
+     *  + verdict. Bit-identical across replays of the same seed. */
+    std::string transcript;
+    uint64_t transcript_hash = 0;
+};
+
+class FuzzRunner
+{
+  public:
+    explicit FuzzRunner(FuzzRunOptions opt = {}) : opt_(std::move(opt))
+    {}
+
+    /** Materialize, run (twice for Ethernet), judge all oracles. */
+    FuzzVerdict run(const sim::FuzzScenario& scenario);
+
+  private:
+    FuzzRunDigest run_eth(const sim::FuzzScenario& s, bool fld_path);
+    FuzzRunDigest run_rdma(const sim::FuzzScenario& s);
+
+    PktGenConfig gen_config(const sim::FuzzScenario& s) const;
+    TestbedConfig tb_config(const sim::FuzzScenario& s) const;
+    EchoOptions echo_options(const sim::FuzzScenario& s) const;
+
+    FuzzRunOptions opt_;
+};
+
+} // namespace fld::apps
+
+#endif // FLD_APPS_FUZZ_RUNNER_H

@@ -2,10 +2,22 @@
 
 #include <algorithm>
 
+#include "sim/fuzz.h"
 #include "util/bitops.h"
 #include "util/logging.h"
 
 namespace fld::apps {
+
+namespace {
+
+/** Deterministic filler for payload byte @p i of packet @p cookie. */
+inline uint8_t
+pattern_byte(uint64_t cookie, size_t i)
+{
+    return uint8_t((cookie * 131u) ^ (i * 7u));
+}
+
+} // namespace
 
 size_t
 imc_frame_size(Rng& rng)
@@ -53,6 +65,9 @@ PacketGen::make_packet()
     if (payload >= 16) {
         store_le64(body.data(), cookie);
         store_le64(body.data() + 8, eq_.now());
+        if (cfg_.pattern_payload)
+            for (size_t i = 16; i < payload; ++i)
+                body[i] = pattern_byte(cookie, i);
     }
 
     uint16_t sport =
@@ -64,6 +79,10 @@ PacketGen::make_packet()
                           .udp(sport, cfg_.dport)
                           .payload(body)
                           .build();
+    if (cfg_.vxlan)
+        pkt = net::vxlan_encapsulate(pkt, cfg_.vni, cfg_.vxlan_src_ip,
+                                     cfg_.vxlan_dst_ip, cfg_.src_mac,
+                                     cfg_.dst_mac);
     return pkt;
 }
 
@@ -89,6 +108,8 @@ PacketGen::send_one()
         running_ = false;
         return;
     }
+    if (cfg_.max_packets && tx_count_ >= cfg_.max_packets)
+        return;
     net::Packet pkt = make_packet();
     size_t bytes = pkt.size();
     if (driver_.send(queue_, std::move(pkt))) {
@@ -101,7 +122,8 @@ PacketGen::send_one()
 void
 PacketGen::schedule_next_open_loop()
 {
-    if (!running_ || eq_.now() >= end_time_) {
+    if (!running_ || eq_.now() >= end_time_ ||
+        (cfg_.max_packets && tx_count_ >= cfg_.max_packets)) {
         running_ = false;
         return;
     }
@@ -127,14 +149,38 @@ PacketGen::on_rx(net::Packet&& pkt)
     if (eq_.now() >= measure_start_ && eq_.now() <= end_time_)
         rx_meter_.record(eq_.now(), pkt.size());
 
-    if (cfg_.measure_rtt) {
+    if (cfg_.measure_rtt || cfg_.pattern_payload || cfg_.flow_digests) {
         net::ParsedPacket pp = net::parse(pkt);
         if (pp.payload_len >= 16) {
             const uint8_t* p = pkt.bytes() + pp.payload_offset;
+            uint64_t cookie = load_le64(p);
             sim::TimePs sent = load_le64(p + 8);
-            if (sent <= eq_.now() && eq_.now() >= measure_start_ &&
-                eq_.now() <= end_time_) {
+            if (cfg_.measure_rtt && sent <= eq_.now() &&
+                eq_.now() >= measure_start_ && eq_.now() <= end_time_) {
                 rtt_us_.add(sim::to_us(eq_.now() - sent));
+            }
+            if (cfg_.pattern_payload) {
+                for (size_t i = 16; i < pp.payload_len; ++i)
+                    if (p[i] != pattern_byte(cookie, i)) {
+                        ++bad_payload_;
+                        break;
+                    }
+            }
+            if (cfg_.flow_digests) {
+                // Per-flow delivered-payload digest. Two timing
+                // artifacts must not affect it: the send timestamp
+                // (bytes 8..15) is masked, and per-packet hashes are
+                // combined with wrapping addition because a flow
+                // sprayed over several SQs can legitimately arrive
+                // reordered (large frames serialize longer). Addition
+                // is order-blind but still duplicate-sensitive.
+                uint32_t flow =
+                    uint32_t(cookie % std::max(1u, cfg_.flows));
+                uint64_t h = sim::fnv1a64(p, 8);
+                uint64_t zero = 0;
+                h = sim::fnv1a64(&zero, 8, h);
+                h = sim::fnv1a64(p + 16, pp.payload_len - 16, h);
+                flow_digests_[flow] += h;
             }
         }
     }

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 
 #include "driver/cpu_driver.h"
 #include "net/headers.h"
@@ -34,6 +35,26 @@ struct PktGenConfig
     uint32_t window = 64;
     /** Expect echoes and measure RTT. */
     bool measure_rtt = false;
+
+    /** Hard budget on generated packets; 0 = unlimited (time-bound
+     *  only). The differential fuzzer needs both runs of a scenario to
+     *  emit exactly the same request stream, which a pure time bound
+     *  cannot guarantee when RTTs differ between the two datapaths. */
+    uint64_t max_packets = 0;
+    /** Fill payload bytes past the cookie/timestamp header with a
+     *  cookie-derived pattern and verify echoed payloads against it
+     *  (corruption detection end to end). */
+    bool pattern_payload = false;
+    /** Track a per-flow FNV-1a digest of delivered payloads (send
+     *  timestamps masked), for byte-identical stream comparison. */
+    bool flow_digests = false;
+    /** VXLAN-encapsulate generated frames; the device under test is
+     *  expected to decapsulate (eSwitch offload) so echoes come back
+     *  as the inner frame. */
+    bool vxlan = false;
+    uint32_t vni = 0;
+    uint32_t vxlan_src_ip = net::ipv4_addr(192, 168, 0, 2);
+    uint32_t vxlan_dst_ip = net::ipv4_addr(192, 168, 0, 1);
 
     net::MacAddr src_mac{2, 0, 0, 0, 0, 0xc1};
     net::MacAddr dst_mac{2, 0, 0, 0, 0, 0x51};
@@ -72,6 +93,13 @@ class PacketGen
 
     uint64_t tx_count() const { return tx_count_; }
     uint64_t rx_count() const { return rx_count_; }
+    /** Echoes whose payload failed pattern verification. */
+    uint64_t bad_payload() const { return bad_payload_; }
+    /** flow id (cookie % flows) -> running FNV-1a stream digest. */
+    const std::map<uint32_t, uint64_t>& flow_digests() const
+    {
+        return flow_digests_;
+    }
     sim::TimePs measure_start() const { return measure_start_; }
     sim::TimePs measure_end() const { return last_rx_; }
 
@@ -94,6 +122,8 @@ class PacketGen
     uint64_t next_cookie_ = 1;
     uint64_t tx_count_ = 0;
     uint64_t rx_count_ = 0;
+    uint64_t bad_payload_ = 0;
+    std::map<uint32_t, uint64_t> flow_digests_;
     sim::RateMeter rx_meter_;
     sim::RateMeter tx_meter_;
     sim::Histogram rtt_us_;

@@ -18,6 +18,15 @@ gen_driver_cfg(uint32_t queues = 1)
     return cfg;
 }
 
+/** Per-role driver config derived from an EchoOptions template. */
+driver::CpuDriverConfig
+echo_driver_cfg(const EchoOptions& opt, uint32_t queues)
+{
+    driver::CpuDriverConfig cfg = opt.driver_base;
+    cfg.num_queues = queues;
+    return cfg;
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------
@@ -41,7 +50,8 @@ isolate_client_cores(TestbedConfig& cfg)
 } // namespace
 
 std::unique_ptr<EchoScenario>
-make_fld_echo(bool remote, PktGenConfig gen_cfg, TestbedConfig tb_cfg)
+make_fld_echo(bool remote, PktGenConfig gen_cfg, TestbedConfig tb_cfg,
+              const EchoOptions& opt)
 {
     auto s = std::make_unique<EchoScenario>();
     s->remote = remote;
@@ -66,7 +76,7 @@ make_fld_echo(bool remote, PktGenConfig gen_cfg, TestbedConfig tb_cfg)
             "client.testpmd", tb.eq, tb.fabric, tb.client_host_port,
             tb.client_mem, tb.client_arena(32 << 20), 32 << 20,
             *tb.client_nic, Testbed::kClientNicBar, tb.client_host,
-            tb.client_app_vport, gen_driver_cfg(2),
+            tb.client_app_vport, echo_driver_cfg(opt, 2),
             Testbed::kClientMemBase);
         tb.install_client_forwarding();
         uint32_t tir =
@@ -74,6 +84,14 @@ make_fld_echo(bool remote, PktGenConfig gen_cfg, TestbedConfig tb_cfg)
         tb.client_nic->set_vport_default_tir(tb.client_app_vport, tir);
 
         // Server: wire traffic -> FLD queue; FLD egress -> wire.
+        if (opt.vxlan) {
+            nic::FlowMatch vx;
+            vx.in_vport = nic::kUplinkVport;
+            vx.dport = net::kVxlanPort;
+            tb.server_nic->add_rule(0, 20, vx,
+                                    {nic::vxlan_decap(),
+                                     nic::fwd_queue(s->q0.rqn)});
+        }
         nic::FlowMatch from_wire;
         from_wire.in_vport = nic::kUplinkVport;
         tb.server_nic->add_rule(0, 0, from_wire,
@@ -87,11 +105,19 @@ make_fld_echo(bool remote, PktGenConfig gen_cfg, TestbedConfig tb_cfg)
             "server.testpmd", tb.eq, tb.fabric, tb.server_host_port,
             tb.server_mem, tb.server_arena(32 << 20), 32 << 20,
             *tb.server_nic, Testbed::kServerNicBar, tb.server_host,
-            tb.server_app_vport, gen_driver_cfg(2));
+            tb.server_app_vport, echo_driver_cfg(opt, 2));
         uint32_t tir =
             tb.server_nic->create_tir({{s->gen_driver->rqn(1)}});
         tb.server_nic->set_vport_default_tir(tb.server_app_vport, tir);
 
+        if (opt.vxlan) {
+            nic::FlowMatch vx;
+            vx.in_vport = tb.server_app_vport;
+            vx.dport = net::kVxlanPort;
+            tb.server_nic->add_rule(0, 20, vx,
+                                    {nic::vxlan_decap(),
+                                     nic::fwd_queue(s->q0.rqn)});
+        }
         nic::FlowMatch from_gen;
         from_gen.in_vport = tb.server_app_vport;
         tb.server_nic->add_rule(0, 0, from_gen,
@@ -109,7 +135,8 @@ make_fld_echo(bool remote, PktGenConfig gen_cfg, TestbedConfig tb_cfg)
 }
 
 std::unique_ptr<CpuEchoScenario>
-make_cpu_echo(bool remote, PktGenConfig gen_cfg, TestbedConfig tb_cfg)
+make_cpu_echo(bool remote, PktGenConfig gen_cfg, TestbedConfig tb_cfg,
+              const EchoOptions& opt)
 {
     auto s = std::make_unique<CpuEchoScenario>();
     tb_cfg.remote = remote;
@@ -122,7 +149,8 @@ make_cpu_echo(bool remote, PktGenConfig gen_cfg, TestbedConfig tb_cfg)
         "server.testpmd", tb.eq, tb.fabric, tb.server_host_port,
         tb.server_mem, tb.server_arena(32 << 20), 32 << 20,
         *tb.server_nic, Testbed::kServerNicBar, tb.server_host,
-        tb.server_app_vport, gen_driver_cfg());
+        tb.server_app_vport,
+        echo_driver_cfg(opt, std::max(1u, opt.echo_queues)));
     uint32_t stir =
         tb.server_nic->create_tir({s->echo_driver->all_rqns()});
     tb.server_nic->set_vport_default_tir(tb.server_app_vport, stir);
@@ -137,13 +165,22 @@ make_cpu_echo(bool remote, PktGenConfig gen_cfg, TestbedConfig tb_cfg)
             "client.testpmd", tb.eq, tb.fabric, tb.client_host_port,
             tb.client_mem, tb.client_arena(32 << 20), 32 << 20,
             *tb.client_nic, Testbed::kClientNicBar, tb.client_host,
-            tb.client_app_vport, gen_driver_cfg(2),
+            tb.client_app_vport, echo_driver_cfg(opt, 2),
             Testbed::kClientMemBase);
         tb.install_client_forwarding();
         uint32_t ctir =
             tb.client_nic->create_tir({{s->gen_driver->rqn(1)}});
         tb.client_nic->set_vport_default_tir(tb.client_app_vport, ctir);
 
+        if (opt.vxlan) {
+            nic::FlowMatch vx;
+            vx.in_vport = nic::kUplinkVport;
+            vx.dport = net::kVxlanPort;
+            tb.server_nic->add_rule(
+                0, 20, vx,
+                {nic::vxlan_decap(),
+                 nic::fwd_vport(tb.server_app_vport)});
+        }
         tb.route_uplink_to_vport(*tb.server_nic, tb.server_app_vport);
         tb.route_vport_to_uplink(*tb.server_nic, tb.server_app_vport);
         s->gen = std::make_unique<PacketGen>(tb.eq, *s->gen_driver, 0,
@@ -168,6 +205,15 @@ make_cpu_echo(bool remote, PktGenConfig gen_cfg, TestbedConfig tb_cfg)
             tb.server_nic->create_tir({s->gen_driver->all_rqns()});
         tb.server_nic->set_vport_default_tir(gen_vport, gtir);
 
+        if (opt.vxlan) {
+            nic::FlowMatch vx;
+            vx.in_vport = gen_vport;
+            vx.dport = net::kVxlanPort;
+            tb.server_nic->add_rule(
+                0, 20, vx,
+                {nic::vxlan_decap(),
+                 nic::fwd_vport(tb.server_app_vport)});
+        }
         nic::FlowMatch from_gen;
         from_gen.in_vport = gen_vport;
         tb.server_nic->add_rule(

@@ -38,6 +38,24 @@ struct EchoScenario
 };
 
 /**
+ * Knobs the scenario fuzzer randomizes on top of the stock echo
+ * setups. Defaults reproduce the historical behaviour exactly.
+ */
+struct EchoOptions
+{
+    /** CPU echo server RSS width (make_cpu_echo only). */
+    uint32_t echo_queues = 1;
+    /** Generator sends VXLAN-tunneled frames; an eSwitch rule
+     *  decapsulates them in front of the echo (NIC offload), so
+     *  echoes return as the inner frame. */
+    bool vxlan = false;
+    /** Template for the generator/echo CpuDriver configs — MPRQ
+     *  geometry, signalling, doorbell style. num_queues/first_core
+     *  are still assigned per role by the scenario. */
+    driver::CpuDriverConfig driver_base;
+};
+
+/**
  * Remote: testpmd-like generator on the client node, echo AFU behind
  * FLD on the server, 25 GbE wire between them.
  * Local: generator on the server host's vPort, eSwitch loopback
@@ -45,7 +63,8 @@ struct EchoScenario
  */
 std::unique_ptr<EchoScenario> make_fld_echo(bool remote,
                                             PktGenConfig gen_cfg = {},
-                                            TestbedConfig tb_cfg = {});
+                                            TestbedConfig tb_cfg = {},
+                                            const EchoOptions& opt = {});
 
 /** CPU baseline: the echo runs in testpmd on the server host. */
 struct CpuEchoScenario
@@ -59,7 +78,8 @@ struct CpuEchoScenario
 
 std::unique_ptr<CpuEchoScenario>
 make_cpu_echo(bool remote, PktGenConfig gen_cfg = {},
-              TestbedConfig tb_cfg = {});
+              TestbedConfig tb_cfg = {},
+              const EchoOptions& opt = {});
 
 // ---------------------------------------------------------------------
 // FLD-R (§8.1.2 echo, §8.2.1 ZUC): RDMA client <-> FLD-R accelerator.

@@ -1,20 +1,30 @@
 /**
  * @file
- * Software receive-side network stack model (kernel TCP/IP path).
+ * Software network stack models (kernel TCP/IP path).
  *
- * Used by the IP-defragmentation experiment (§8.2.2) as the CPU
- * baseline: when the NIC cannot validate L4 checksums (fragments) the
- * stack pays a per-byte software checksum, and when software
- * defragmentation is enabled it pays reassembly costs — all on the
- * core RSS chose, which for fragments is a single core.
+ * The receive side is used by the IP-defragmentation experiment
+ * (§8.2.2) as the CPU baseline: when the NIC cannot validate L4
+ * checksums (fragments) the stack pays a per-byte software checksum,
+ * and when software defragmentation is enabled it pays reassembly
+ * costs — all on the core RSS chose, which for fragments is a single
+ * core.
+ *
+ * The send side models the kernel transmit path a CPU-driven
+ * application depends on and an FLD-attached accelerator must
+ * re-implement: ARP resolution (queue until the next hop answers),
+ * TCP segmentation at the MSS, and a go-back-N retransmission timer.
  */
 #ifndef FLD_DRIVER_SW_STACK_H
 #define FLD_DRIVER_SW_STACK_H
 
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
 
 #include "driver/cpu_driver.h"
 #include "driver/host.h"
+#include "net/headers.h"
 #include "net/ip_reassembly.h"
 #include "sim/stats.h"
 
@@ -69,6 +79,115 @@ class SoftwareReceiveStack
     uint64_t packets_ = 0;
     uint64_t dropped_ = 0;
     sim::RateMeter meter_;
+};
+
+// ---------------------------------------------------------------------
+// Send side
+// ---------------------------------------------------------------------
+
+struct SendStackConfig
+{
+    net::MacAddr src_mac{0x02, 0, 0, 0, 0, 0x51};
+    uint32_t src_ip = net::ipv4_addr(192, 168, 1, 2);
+    uint32_t dst_ip = net::ipv4_addr(192, 168, 1, 1);
+    uint16_t sport = 40000;
+    uint16_t dport = 5001;
+
+    /** TCP payload bytes per segment. */
+    uint32_t mss = 1460;
+    /** Go-back-N send window, in unacknowledged segments. */
+    uint32_t window_segments = 8;
+    /** Retransmission timeout. */
+    sim::TimePs rto = sim::microseconds(200);
+    /** Give up (and count a reset) after this many back-to-back
+     *  timeouts with no forward progress. */
+    uint32_t max_retries = 8;
+};
+
+/**
+ * Single-connection kernel send path: stream bytes in, Ethernet
+ * frames out through a caller-supplied transmit hook.
+ *
+ * - ARP: frames to an unresolved next hop are queued while a request
+ *   is broadcast; the reply releases them. Replies also refresh the
+ *   cache unprompted (gratuitous ARP).
+ * - Segmentation: send() slices the stream at MSS boundaries; the
+ *   final short segment carries PSH.
+ * - Reliability: go-back-N. A single timer covers the oldest
+ *   unacknowledged segment; any cumulative ACK advancing snd_una
+ *   re-arms it, a timeout resends the whole window. A generation
+ *   counter voids timers armed before the latest ACK, so a stale
+ *   callback never retransmits acknowledged data.
+ */
+class SoftwareSendStack
+{
+  public:
+    using TxFn = std::function<void(net::Packet&&)>;
+
+    SoftwareSendStack(sim::EventQueue& eq, TxFn tx,
+                      SendStackConfig cfg = {});
+
+    /** Stream bytes to the peer; returns bytes accepted (all). */
+    size_t send(const uint8_t* data, size_t len);
+    size_t send(const std::vector<uint8_t>& data)
+    {
+        return send(data.data(), data.size());
+    }
+
+    /** Feed a received frame: ARP replies and TCP ACKs. */
+    void on_rx(const net::Packet& pkt);
+
+    /** Pre-seed the ARP cache (static neighbor entry). */
+    void add_arp_entry(uint32_t ip, const net::MacAddr& mac);
+    bool resolved(uint32_t ip) const { return arp_cache_.count(ip); }
+
+    // Introspection for tests and stats.
+    uint32_t snd_una() const { return snd_una_; }
+    uint32_t snd_nxt() const { return snd_nxt_; }
+    uint64_t segments_sent() const { return segments_sent_; }
+    uint64_t retransmits() const { return retransmits_; }
+    uint64_t arp_requests() const { return arp_requests_; }
+    uint64_t resets() const { return resets_; }
+    size_t unacked_segments() const { return unacked_.size(); }
+    size_t backlog_segments() const { return backlog_.size(); }
+    bool timer_armed() const { return timer_armed_; }
+
+  private:
+    struct Segment
+    {
+        uint32_t seq = 0;
+        std::vector<uint8_t> payload;
+        bool push = false;
+    };
+
+    void pump();
+    void transmit(const Segment& seg);
+    void send_arp_request();
+    void handle_ack(uint32_t ack);
+    void arm_timer();
+    void on_timeout(uint64_t generation);
+
+    sim::EventQueue& eq_;
+    TxFn tx_;
+    SendStackConfig cfg_;
+
+    std::map<uint32_t, net::MacAddr> arp_cache_;
+    bool arp_pending_ = false;
+
+    uint32_t snd_una_ = 1; ///< oldest unacknowledged sequence byte
+    uint32_t snd_nxt_ = 1; ///< next sequence byte to transmit
+    std::deque<Segment> backlog_; ///< sliced, waiting for window/ARP
+    std::deque<Segment> unacked_; ///< transmitted, awaiting ACK
+
+    bool timer_armed_ = false;
+    uint64_t timer_gen_ = 0; ///< voids stale timeout callbacks
+    uint32_t retries_ = 0;
+    uint16_t ip_id_ = 1;
+
+    uint64_t segments_sent_ = 0;
+    uint64_t retransmits_ = 0;
+    uint64_t arp_requests_ = 0;
+    uint64_t resets_ = 0;
 };
 
 } // namespace fld::driver

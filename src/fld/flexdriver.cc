@@ -401,6 +401,9 @@ FlexDriver::bar_write(uint64_t addr, const uint8_t* data, size_t len)
             expanded.flow_tag = mini.flow_tag;
             expanded.msg_id = 0;
             expanded.msg_offset = 0;
+            // A 16 B mini cannot carry the 64-bit trace id, and the
+            // title's id belongs to a different packet: mark untraced.
+            expanded.corr = 0;
             stats_.cqes++;
             if (is_rx_cq)
                 handle_rx_cqe(expanded);

@@ -134,6 +134,37 @@ VxlanHeader::decode(const uint8_t* in)
     return h;
 }
 
+void
+ArpHeader::encode(uint8_t* out) const
+{
+    store_be16(out, 1);                  // htype: Ethernet
+    store_be16(out + 2, kEtherTypeIpv4); // ptype: IPv4
+    out[4] = 6;                          // hlen
+    out[5] = 4;                          // plen
+    store_be16(out + 6, oper);
+    std::memcpy(out + 8, sender_mac.data(), 6);
+    store_be32(out + 14, sender_ip);
+    std::memcpy(out + 18, target_mac.data(), 6);
+    store_be32(out + 24, target_ip);
+}
+
+std::optional<ArpHeader>
+ArpHeader::decode(const uint8_t* in, size_t len)
+{
+    if (len < kArpLen)
+        return std::nullopt;
+    if (load_be16(in) != 1 || load_be16(in + 2) != kEtherTypeIpv4 ||
+        in[4] != 6 || in[5] != 4)
+        return std::nullopt;
+    ArpHeader h;
+    h.oper = load_be16(in + 6);
+    std::memcpy(h.sender_mac.data(), in + 8, 6);
+    h.sender_ip = load_be32(in + 14);
+    std::memcpy(h.target_mac.data(), in + 18, 6);
+    h.target_ip = load_be32(in + 24);
+    return h;
+}
+
 ParsedPacket
 parse_at(const Packet& pkt, size_t offset)
 {
@@ -284,7 +315,9 @@ PacketBuilder::build() const
         uh.length = uint16_t(l4_len);
         uh.checksum = 0;
         uh.encode(l4);
-        std::memcpy(l4 + kUdpHeaderLen, payload_.data(), payload_.size());
+        if (!payload_.empty())
+            std::memcpy(l4 + kUdpHeaderLen, payload_.data(),
+                        payload_.size());
         uint16_t c =
             l4_checksum(ih.src, ih.dst, kIpProtoUdp, l4, l4_len);
         store_be16(l4 + 6, c);
@@ -292,11 +325,13 @@ PacketBuilder::build() const
         TcpHeader th = *tcp_;
         th.checksum = 0;
         th.encode(l4);
-        std::memcpy(l4 + kTcpHeaderLen, payload_.data(), payload_.size());
+        if (!payload_.empty())
+            std::memcpy(l4 + kTcpHeaderLen, payload_.data(),
+                        payload_.size());
         uint16_t c =
             l4_checksum(ih.src, ih.dst, kIpProtoTcp, l4, l4_len);
         store_be16(l4 + 16, c);
-    } else {
+    } else if (!payload_.empty()) {
         std::memcpy(l4, payload_.data(), payload_.size());
     }
     return pkt;

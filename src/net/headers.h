@@ -103,6 +103,26 @@ struct VxlanHeader
     static VxlanHeader decode(const uint8_t* in);
 };
 
+constexpr size_t kArpLen = 28; ///< Ethernet/IPv4 ARP body
+
+/** ARP for IPv4 over Ethernet (RFC 826), carried after an Ethernet
+ *  header with ethertype kEtherTypeArp. */
+struct ArpHeader
+{
+    static constexpr uint16_t kRequest = 1;
+    static constexpr uint16_t kReply = 2;
+
+    uint16_t oper = kRequest;
+    MacAddr sender_mac{};
+    uint32_t sender_ip = 0;
+    MacAddr target_mac{}; ///< all-zero in requests
+    uint32_t target_ip = 0;
+
+    void encode(uint8_t* out) const;
+    /** Empty when htype/ptype/hlen/plen are not Ethernet/IPv4. */
+    static std::optional<ArpHeader> decode(const uint8_t* in, size_t len);
+};
+
 /**
  * Parsed view of a packet: header copies plus payload offsets.
  * Parse failures leave the corresponding optional empty.

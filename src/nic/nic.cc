@@ -480,6 +480,10 @@ NicDevice::run_pipeline(net::Packet&& pkt, VportId in_vport,
                     stats_.drops_rule++;
                     return;
                 }
+                if (auto* tr = sim::Tracer::active())
+                    tr->emit(eq_.now(), sim::TraceEventKind::Tunnel,
+                             name_, "decap", pkt.meta.corr, 0, 0, 1,
+                             inner->size());
                 pkt = std::move(*inner);
                 fields = FlowFields::of(pkt, in_vport);
                 fields.flow_tag = pkt.meta.flow_tag;
@@ -491,6 +495,10 @@ NicDevice::run_pipeline(net::Packet&& pkt, VportId in_vport,
                 pkt = net::vxlan_encapsulate(pkt, act.arg1, act.arg2,
                                              act.arg3, outer_src,
                                              outer_dst);
+                if (auto* tr = sim::Tracer::active())
+                    tr->emit(eq_.now(), sim::TraceEventKind::Tunnel,
+                             name_, "encap", pkt.meta.corr, 0, 0, 1,
+                             pkt.size());
                 fields = FlowFields::of(pkt, in_vport);
                 break;
               }
@@ -700,6 +708,8 @@ bool
 NicDevice::deliver_to_rq(uint32_t rqn, net::Packet&& pkt,
                          std::optional<Cqe> rdma_info)
 {
+    if (rx_probe_)
+        rx_probe_(rqn, pkt);
     auto it = rqs_.find(rqn);
     if (it == rqs_.end()) {
         stats_.drops_no_rule++;

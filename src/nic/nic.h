@@ -173,6 +173,19 @@ class NicDevice : public pcie::PcieEndpoint
      */
     void inject_qp_error(uint32_t qpn);
 
+    /**
+     * Observation hook for tests/fuzzing: called at RQ-delivery entry
+     * with the chosen rqn and the packet as steered (post-decap, pre
+     * buffer accounting), before any no-buffer drop decision. Unset by
+     * default and never on the hot path cost model — purely a probe.
+     */
+    using RxDeliveryProbe =
+        std::function<void(uint32_t rqn, const net::Packet&)>;
+    void set_rx_delivery_probe(RxDeliveryProbe fn)
+    {
+        rx_probe_ = std::move(fn);
+    }
+
     NetPort& uplink() { return uplink_; }
     const NicStats& stats() const { return stats_; }
     const NicConfig& config() const { return cfg_; }
@@ -307,6 +320,7 @@ class NicDevice : public pcie::PcieEndpoint
     FlowTables flows_;
     NicStats stats_;
     EventHandler events_;
+    RxDeliveryProbe rx_probe_;
 
     std::map<uint32_t, SqState> sqs_;
     std::map<uint32_t, RqState> rqs_;

@@ -1,0 +1,477 @@
+#include "sim/fuzz.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace fld::sim {
+
+const char*
+to_string(FuzzMode mode)
+{
+    switch (mode) {
+    case FuzzMode::EthEcho:
+        return "eth-echo";
+    case FuzzMode::RdmaEcho:
+        return "rdma-echo";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------
+// Scenario dump
+// ---------------------------------------------------------------------
+
+std::string
+FuzzScenario::to_string() const
+{
+    std::ostringstream os;
+    os << "seed = " << seed << "\n";
+    os << "mode = " << sim::to_string(workload.mode) << "\n";
+    os << "packets = " << workload.packets << "\n";
+    os << "bytes = " << workload.bytes << "\n";
+    os << "imc_mix = " << (workload.imc_mix ? 1 : 0) << "\n";
+    os << "flows = " << workload.flows << "\n";
+    os << "window = " << workload.window << "\n";
+    os << "offered_gbps = " << workload.offered_gbps << "\n";
+    os << "echo_queues = " << echo_queues << "\n";
+    os << "rx_buffers = " << rx_buffers << "\n";
+    os << "rx_strides = " << rx_strides << "\n";
+    os << "rx_stride_shift = " << rx_stride_shift << "\n";
+    os << "mtu = " << mtu << "\n";
+    os << "cqe_compression = " << (cqe_compression ? 1 : 0) << "\n";
+    os << "coalesce_ns = " << coalesce_ns << "\n";
+    os << "vxlan = " << (vxlan ? 1 : 0) << "\n";
+    os << "vni = " << vni << "\n";
+    os << "shaper_gbps = " << shaper_gbps << "\n";
+    os << "signal_interval = " << signal_interval << "\n";
+    os << "wqe_by_mmio = " << (wqe_by_mmio ? 1 : 0) << "\n";
+    os << "fetch_inflight = " << fetch_inflight << "\n";
+    os << "fault_seed = " << faults.seed << "\n";
+    os << "wire_drop_prob = " << faults.wire.drop_prob << "\n";
+    os << "wire_corrupt_prob = " << faults.wire.corrupt_prob << "\n";
+    os << "wire_duplicate_prob = " << faults.wire.duplicate_prob << "\n";
+    os << "wire_reorder_prob = " << faults.wire.reorder_prob << "\n";
+    os << "pcie_read_delay_prob = " << faults.pcie.read_delay_prob << "\n";
+    os << "pcie_read_stall_prob = " << faults.pcie.read_stall_prob << "\n";
+    os << "pcie_doorbell_jitter_prob = " << faults.pcie.doorbell_jitter_prob
+       << "\n";
+    os << "accel_stall_prob = " << faults.accel.stall_prob << "\n";
+    return os.str();
+}
+
+std::string
+FuzzScenario::summary() const
+{
+    std::ostringstream os;
+    os << sim::to_string(workload.mode) << " pkts=" << workload.packets
+       << " bytes=" << workload.bytes << (workload.imc_mix ? "(imc)" : "")
+       << " flows=" << workload.flows;
+    if (workload.window > 0)
+        os << " win=" << workload.window;
+    else
+        os << " open@" << workload.offered_gbps << "G";
+    os << " q=" << echo_queues;
+    if (rx_buffers)
+        os << " mprq=" << rx_buffers << "x" << rx_strides << "<<"
+           << rx_stride_shift;
+    if (cqe_compression)
+        os << " cqe-comp";
+    if (vxlan)
+        os << " vxlan=" << vni;
+    if (shaper_gbps > 0)
+        os << " shape=" << shaper_gbps << "G";
+    os << (has_faults() ? " faulty" : " fault-free");
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Generation
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Small counts are much better at isolating bugs, so weight them. */
+uint32_t
+draw_packet_count(Rng& rng)
+{
+    switch (rng.uniform(4)) {
+    case 0:
+        return uint32_t(rng.range(1, 8));
+    case 1:
+        return uint32_t(rng.range(9, 32));
+    case 2:
+        return uint32_t(rng.range(33, 96));
+    default:
+        return uint32_t(rng.range(97, 200));
+    }
+}
+
+} // namespace
+
+FuzzScenario
+ScenarioFuzzer::generate(uint64_t seed) const
+{
+    // All knobs are drawn in one fixed order from one RNG; adding a
+    // knob must append draws, never reorder them, or every historical
+    // failing seed changes meaning.
+    Rng rng(seed);
+    FuzzScenario s;
+    s.seed = seed;
+
+    // ---- workload ----------------------------------------------------
+    s.workload.mode =
+        rng.chance(0.30) ? FuzzMode::RdmaEcho : FuzzMode::EthEcho;
+    s.workload.packets = draw_packet_count(rng);
+
+    // ---- geometry / NIC knobs (drawn for both modes to keep the
+    // draw sequence mode-independent; RDMA ignores most of them) ------
+    static const uint32_t kMtus[] = {512, 1024, 1500};
+    s.mtu = kMtus[rng.uniform(3)];
+
+    // The IMC mixture reaches full-MTU frames, so it only composes
+    // with the standard 1500-byte MTU.
+    bool want_imc = rng.chance(0.25);
+    if (want_imc && s.mtu == 1500) {
+        s.workload.imc_mix = true;
+        s.workload.bytes = 0; // sizes drawn per-packet from the mix
+    } else {
+        s.workload.bytes = uint32_t(rng.range(64, s.mtu));
+    }
+    s.workload.flows = uint32_t(rng.range(1, 16));
+    if (rng.chance(0.25)) {
+        s.workload.window = 0; // open loop
+        s.workload.offered_gbps = 1.0 + rng.uniform_double() * 24.0;
+    } else {
+        s.workload.window = uint32_t(rng.range(1, 32));
+        s.workload.offered_gbps = 0.0;
+    }
+
+    s.echo_queues = uint32_t(rng.range(1, 4));
+    if (rng.chance(0.5)) {
+        // Randomize MPRQ geometry. Strides smaller than the MTU are
+        // deliberately in range — a full-size frame then spans several
+        // contiguous strides, which is the very feature MPRQ exists
+        // for (and where stride-accounting bugs hide). Only the whole
+        // buffer must hold a max-size frame.
+        s.rx_stride_shift = uint16_t(rng.range(9, 12));
+        static const uint16_t kStrides[] = {8, 16, 32, 64};
+        s.rx_strides = kStrides[rng.uniform(4)];
+        while (uint32_t(s.rx_strides) << s.rx_stride_shift < s.mtu + 64)
+            s.rx_strides *= 2;
+        s.rx_buffers = uint32_t(rng.range(8, 64));
+        // Stay inside the testbed's 32 MiB driver arenas: cap each
+        // queue's MPRQ footprint at 4 MiB (up to 4 echo queues plus
+        // rings must fit). Pure clamping — consumes no extra draws.
+        const uint64_t per_queue_cap = 4ull << 20;
+        while (s.rx_buffers > 8 &&
+               uint64_t(s.rx_buffers) * s.rx_strides *
+                       (1ull << s.rx_stride_shift) >
+                   per_queue_cap)
+            s.rx_buffers /= 2;
+    }
+
+    s.cqe_compression = rng.chance(0.30);
+    s.coalesce_ns = uint32_t(rng.range(100, 800));
+    if (rng.chance(0.25)) {
+        s.vxlan = true;
+        s.vni = uint32_t(rng.range(1, 0xffffff));
+    }
+    if (rng.chance(0.30))
+        s.shaper_gbps = 1.0 + rng.uniform_double() * 20.0;
+    s.signal_interval = uint32_t(rng.range(1, 32));
+    s.wqe_by_mmio = rng.chance(0.7);
+    s.fetch_inflight = uint32_t(rng.range(2, 16));
+
+    // ---- faults ------------------------------------------------------
+    // Half the scenarios stay fault-free so the byte-identical
+    // differential oracle retains full power; the other half draw
+    // small per-class probabilities (kept low so closed-loop runs
+    // finish within the step budget even with go-back-N recovery).
+    s.faults.seed = rng.next() | 1;
+    if (rng.chance(0.5)) {
+        if (rng.chance(0.5))
+            s.faults.wire.drop_prob = 0.005 + rng.uniform_double() * 0.045;
+        if (rng.chance(0.3))
+            s.faults.wire.corrupt_prob =
+                0.005 + rng.uniform_double() * 0.025;
+        if (rng.chance(0.3))
+            s.faults.wire.duplicate_prob =
+                0.005 + rng.uniform_double() * 0.045;
+        if (rng.chance(0.3)) {
+            s.faults.wire.reorder_prob =
+                0.005 + rng.uniform_double() * 0.045;
+            s.faults.wire.reorder_delay_max =
+                microseconds(rng.range(1, 5));
+        }
+        if (rng.chance(0.3))
+            s.faults.pcie.read_delay_prob =
+                0.01 + rng.uniform_double() * 0.09;
+        if (rng.chance(0.15)) {
+            s.faults.pcie.read_stall_prob =
+                0.002 + rng.uniform_double() * 0.008;
+            s.faults.pcie.read_stall_time =
+                microseconds(rng.range(5, 20));
+        }
+        if (rng.chance(0.3))
+            s.faults.pcie.doorbell_jitter_prob =
+                0.01 + rng.uniform_double() * 0.09;
+        if (rng.chance(0.3)) {
+            s.faults.accel.stall_prob =
+                0.01 + rng.uniform_double() * 0.04;
+            s.faults.accel.stall_time = microseconds(rng.range(1, 5));
+        }
+    }
+
+    // RDMA echo: the FLD-R client drives fixed-size messages over one
+    // QP; flows/windows/vxlan/echo geometry do not apply.
+    if (s.workload.mode == FuzzMode::RdmaEcho) {
+        s.workload.imc_mix = false;
+        if (s.workload.bytes == 0)
+            s.workload.bytes = 256;
+        s.workload.bytes = std::min(s.workload.bytes, 1024u);
+        s.workload.flows = 1;
+        if (s.workload.window == 0) {
+            s.workload.window = 8;
+            s.workload.offered_gbps = 0.0;
+        }
+        s.workload.window = std::min(s.workload.window, 16u);
+        s.vxlan = false;
+        s.shaper_gbps = 0.0;
+        // Accelerator stalls apply to the AFU-side accel units, which
+        // the FLD-R echo scenario does not instantiate.
+        s.faults.accel = {};
+    }
+
+    return s;
+}
+
+// ---------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Candidate mutation: returns false when it would be a no-op. */
+using Mutation = std::function<bool(FuzzScenario&)>;
+
+void
+clear_wire_faults(FuzzScenario& s)
+{
+    s.faults.wire = {};
+}
+
+} // namespace
+
+ShrinkResult
+ScenarioShrinker::shrink(const FuzzScenario& failing)
+{
+    ShrinkResult res;
+    res.scenario = failing;
+
+    auto try_mutation = [&](const Mutation& mut) -> bool {
+        if (res.predicate_runs >= max_runs_)
+            return false;
+        FuzzScenario candidate = res.scenario;
+        if (!mut(candidate))
+            return false; // no-op, don't burn budget
+        ++res.predicate_runs;
+        if (!still_fails_(candidate))
+            return false;
+        res.scenario = candidate;
+        ++res.accepted_mutations;
+        return true;
+    };
+
+    const FuzzScenario defaults;
+
+    // Packet-count reduction dominates replay cost, so run it to a
+    // fixpoint first: try 1, 2, 4, then successive halvings.
+    auto shrink_packets = [&] {
+        bool any = false;
+        for (uint32_t target : {1u, 2u, 4u}) {
+            if (res.scenario.workload.packets > target &&
+                try_mutation([&](FuzzScenario& s) {
+                    s.workload.packets = target;
+                    return true;
+                })) {
+                any = true;
+                break;
+            }
+        }
+        while (res.scenario.workload.packets > 1 &&
+               try_mutation([&](FuzzScenario& s) {
+                   s.workload.packets = std::max(1u, s.workload.packets / 2);
+                   return true;
+               }))
+            any = true;
+        while (res.scenario.workload.packets > 1 &&
+               try_mutation([&](FuzzScenario& s) {
+                   s.workload.packets -= 1;
+                   return true;
+               }))
+            any = true;
+        return any;
+    };
+
+    std::vector<Mutation> passes = {
+        // Fewer flows, simplest loop shape.
+        [](FuzzScenario& s) {
+            if (s.workload.flows == 1)
+                return false;
+            s.workload.flows = 1;
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (s.workload.window == 1 && s.workload.offered_gbps == 0)
+                return false;
+            s.workload.window = 1;
+            s.workload.offered_gbps = 0.0;
+            return true;
+        },
+        // Canonicalize the open-loop rate to line rate. Not smaller,
+        // but simpler — and back-to-back frames tighten timing races,
+        // which usually lets the packet count shrink further.
+        [](FuzzScenario& s) {
+            if (s.workload.window != 0 ||
+                s.workload.offered_gbps == 25.0)
+                return false;
+            s.workload.offered_gbps = 25.0;
+            return true;
+        },
+        // Fixed full-MTU frames: drops the size mixture while keeping
+        // multi-stride MPRQ and segmentation behavior reachable.
+        [](FuzzScenario& s) {
+            if (!s.workload.imc_mix && s.workload.bytes == s.mtu)
+                return false;
+            s.workload.imc_mix = false;
+            s.workload.bytes = s.mtu;
+            return true;
+        },
+        // Minimal frame: fixed 64B, no size mixture.
+        [](FuzzScenario& s) {
+            if (!s.workload.imc_mix &&
+                s.workload.bytes == 64)
+                return false;
+            s.workload.imc_mix = false;
+            s.workload.bytes = 64;
+            return true;
+        },
+        // Remove fault classes one at a time, most disruptive first.
+        [](FuzzScenario& s) {
+            if (!s.faults.wire.enabled())
+                return false;
+            clear_wire_faults(s);
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (!s.faults.pcie.enabled())
+                return false;
+            s.faults.pcie = {};
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (!s.faults.accel.enabled())
+                return false;
+            s.faults.accel = {};
+            return true;
+        },
+        // Individual wire fault knobs (when the whole class must stay).
+        [](FuzzScenario& s) {
+            if (s.faults.wire.drop_prob == 0)
+                return false;
+            s.faults.wire.drop_prob = 0;
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (s.faults.wire.corrupt_prob == 0)
+                return false;
+            s.faults.wire.corrupt_prob = 0;
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (s.faults.wire.duplicate_prob == 0)
+                return false;
+            s.faults.wire.duplicate_prob = 0;
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (s.faults.wire.reorder_prob == 0)
+                return false;
+            s.faults.wire.reorder_prob = 0;
+            return true;
+        },
+        // Knobs back to defaults, one group at a time.
+        [&defaults](FuzzScenario& s) {
+            if (!s.vxlan)
+                return false;
+            s.vxlan = defaults.vxlan;
+            s.vni = defaults.vni;
+            return true;
+        },
+        [&defaults](FuzzScenario& s) {
+            if (s.shaper_gbps == 0)
+                return false;
+            s.shaper_gbps = defaults.shaper_gbps;
+            return true;
+        },
+        [&defaults](FuzzScenario& s) {
+            if (!s.cqe_compression && s.coalesce_ns == defaults.coalesce_ns)
+                return false;
+            s.cqe_compression = defaults.cqe_compression;
+            s.coalesce_ns = defaults.coalesce_ns;
+            return true;
+        },
+        [&defaults](FuzzScenario& s) {
+            if (s.rx_buffers == 0 && s.rx_strides == 0 &&
+                s.rx_stride_shift == 0)
+                return false;
+            s.rx_buffers = defaults.rx_buffers;
+            s.rx_strides = defaults.rx_strides;
+            s.rx_stride_shift = defaults.rx_stride_shift;
+            return true;
+        },
+        [&defaults](FuzzScenario& s) {
+            if (s.echo_queues == 1)
+                return false;
+            s.echo_queues = defaults.echo_queues;
+            return true;
+        },
+        [&defaults](FuzzScenario& s) {
+            if (s.mtu == defaults.mtu)
+                return false;
+            s.mtu = defaults.mtu;
+            s.workload.bytes = std::min(s.workload.bytes, s.mtu);
+            return true;
+        },
+        [&defaults](FuzzScenario& s) {
+            if (s.signal_interval == defaults.signal_interval &&
+                s.wqe_by_mmio == defaults.wqe_by_mmio &&
+                s.fetch_inflight == defaults.fetch_inflight)
+                return false;
+            s.signal_interval = defaults.signal_interval;
+            s.wqe_by_mmio = defaults.wqe_by_mmio;
+            s.fetch_inflight = defaults.fetch_inflight;
+            return true;
+        },
+    };
+
+    // Run all passes to a global fixpoint (a later pass succeeding can
+    // re-enable an earlier one, e.g. dropping faults lets the packet
+    // count shrink further).
+    bool progress = true;
+    while (progress && res.predicate_runs < max_runs_) {
+        progress = false;
+        if (shrink_packets())
+            progress = true;
+        for (const auto& pass : passes)
+            if (try_mutation(pass))
+                progress = true;
+    }
+    return res;
+}
+
+} // namespace fld::sim

@@ -98,6 +98,33 @@ FaultCounters::summary() const
                   (unsigned long long)accel_stalls);
 }
 
+std::string
+ConservationLedger::check() const
+{
+    if (rx + accounted_losses + in_flight < tx)
+        return strfmt("conservation violated: %llu frames vanished "
+                      "unaccounted (%s)",
+                      (unsigned long long)(tx - rx - accounted_losses -
+                                           in_flight),
+                      summary().c_str());
+    if (rx > tx + duplicates)
+        return strfmt("conservation violated: %llu frames conjured from "
+                      "nothing (%s)",
+                      (unsigned long long)(rx - tx - duplicates),
+                      summary().c_str());
+    return "";
+}
+
+std::string
+ConservationLedger::summary() const
+{
+    return strfmt("tx=%llu rx=%llu losses=%llu dup=%llu inflight=%llu",
+                  (unsigned long long)tx, (unsigned long long)rx,
+                  (unsigned long long)accounted_losses,
+                  (unsigned long long)duplicates,
+                  (unsigned long long)in_flight);
+}
+
 void
 Histogram::ensure_sorted() const
 {

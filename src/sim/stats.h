@@ -91,6 +91,36 @@ struct FaultCounters
     std::string summary() const;
 };
 
+/**
+ * Packet-conservation ledger for one end-to-end run: every frame a
+ * sender handed to the datapath must be delivered, sitting in flight,
+ * or accounted for by a named loss counter. The fuzzer's fourth
+ * oracle sums both NICs' drop counters, the fault plan's wire losses
+ * and the drivers'/AFU's overload drops into `accounted_losses` and
+ * asserts the inequalities below; in a fault-free, drop-free run they
+ * collapse to the exact identity rx == tx.
+ */
+struct ConservationLedger
+{
+    uint64_t tx = 0;               ///< frames the sender(s) emitted
+    uint64_t rx = 0;               ///< frames delivered to the sink(s)
+    uint64_t accounted_losses = 0; ///< sum of every named drop counter
+    uint64_t duplicates = 0;       ///< wire duplications (can inflate rx)
+    uint64_t in_flight = 0;        ///< still queued when the run ended
+
+    /**
+     * Check tx = rx + drops + in-flight, as inequalities that stay
+     * valid when retransmission re-injects frames: nothing may vanish
+     * unaccounted (rx + losses + in_flight >= tx) and nothing may be
+     * conjured (rx <= tx + duplicates). Returns a human-readable
+     * violation description, or an empty string when conserved.
+     */
+    std::string check() const;
+
+    /** "tx=... rx=... losses=... dup=... inflight=..." line. */
+    std::string summary() const;
+};
+
 /** Accumulates bytes/packets over simulated time and reports rates. */
 class RateMeter
 {

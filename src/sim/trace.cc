@@ -26,6 +26,7 @@ to_string(TraceEventKind kind)
     case TraceEventKind::CqeWrite:      return "CqeWrite";
     case TraceEventKind::Retransmit:    return "Retransmit";
     case TraceEventKind::FaultInject:   return "FaultInject";
+    case TraceEventKind::Tunnel:        return "Tunnel";
     }
     return "?";
 }
@@ -213,9 +214,13 @@ TraceChecker::check(const std::vector<TraceEvent>& events)
     std::map<uint64_t, uint64_t> wire_tx, wire_rx, wire_dup, rx_cqe;
     // Invariant 4 state: payload byte counts per correlation id.
     std::map<uint64_t, std::vector<uint64_t>> payload_bytes;
-    std::set<uint64_t> rdma_corr;
-    // Invariant 5 state: TxOk completions seen.
-    std::set<std::tuple<std::string, uint32_t, uint64_t>> txok_seen;
+    std::set<uint64_t> rdma_corr, tunnel_corr;
+    // Invariant 5 state: TxOk completions seen, keyed by WQE identity
+    // (ring slot + corr). A forwarder keeps the rx corr when echoing,
+    // so a wire-duplicated frame yields two WQEs sharing one corr —
+    // distinct ring slots, not duplicate completions.
+    std::set<std::tuple<std::string, uint32_t, uint32_t, uint64_t>>
+        txok_seen;
 
     TimePs prev_time = 0;
     for (const TraceEvent& ev : events) {
@@ -284,7 +289,8 @@ TraceChecker::check(const std::vector<TraceEvent>& events)
             }
             if (detail == "TxOk" && ev.corr != 0) {
                 // 5. Exactly-once completion per WQE.
-                auto key = std::make_tuple(ev.actor, ev.queue, ev.corr);
+                auto key = std::make_tuple(ev.actor, ev.queue, ev.index,
+                                           ev.corr);
                 if (!txok_seen.insert(key).second)
                     fail(ev, "duplicate TxOk CQE for the same WQE");
             }
@@ -293,6 +299,10 @@ TraceChecker::check(const std::vector<TraceEvent>& events)
         case TraceEventKind::FaultInject:
             if (detail == "dup" && ev.corr != 0)
                 wire_dup[ev.corr]++;
+            break;
+        case TraceEventKind::Tunnel:
+            if (ev.corr != 0)
+                tunnel_corr.insert(ev.corr);
             break;
         case TraceEventKind::Retransmit:
             break;
@@ -314,9 +324,10 @@ TraceChecker::check(const std::vector<TraceEvent>& events)
 
     // 4 (end of trace). Ethernet frames keep one byte count across
     // PayloadRead -> WireTx -> WireRx -> PayloadWrite.  RDMA messages are
-    // segmented and carry transport headers, so they are exempt here.
+    // segmented and carry transport headers, and tunneled frames gain or
+    // lose the VXLAN outer headers at the eSwitch, so both are exempt.
     for (const auto& [corr, sizes] : payload_bytes) {
-        if (rdma_corr.count(corr))
+        if (rdma_corr.count(corr) || tunnel_corr.count(corr))
             continue;
         for (uint64_t b : sizes) {
             if (b != sizes.front()) {

@@ -36,6 +36,7 @@ enum class TraceEventKind : uint8_t {
     CqeWrite,      ///< NIC DMA-writes a completion (title or mini CQE)
     Retransmit,    ///< RDMA RC go-back-N retransmission fires
     FaultInject,   ///< injected fault fired (drop/corrupt/dup/reorder/...)
+    Tunnel,        ///< eSwitch VXLAN encap/decap changed the frame size
 };
 
 const char* to_string(TraceEventKind kind);

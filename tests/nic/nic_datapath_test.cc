@@ -349,7 +349,7 @@ TEST(NicPipeline, MeterPolicesExcessTraffic)
 {
     Testbed tb;
     auto& h = *tb.a;
-    VportId v = h.nic->add_vport();
+    h.nic->add_vport();
     std::vector<Cqe> cqes;
     uint32_t cqn = h.make_cq(256, &cqes);
     auto rq = h.make_rq(64, cqn);

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * fld_fuzz — differential scenario fuzzer CLI.
+ *
+ * Walks 64-bit seeds, materializes each into a randomized testbed +
+ * workload + fault plan (sim::ScenarioFuzzer), runs it through the
+ * four oracles (apps::FuzzRunner: differential equivalence, trace
+ * invariants, exactly-once, conservation) and, on the first failure,
+ * greedily shrinks the scenario and writes replayable artifacts.
+ *
+ * Usage:
+ *   fld_fuzz [--seeds=N] [--seed0=S] [--budget=120s]
+ *            [--replay=SEED] [--artifacts=DIR] [--no-trace]
+ *
+ *   --seeds=N       run N consecutive seeds (default 100)
+ *   --seed0=S       first seed (default 1)
+ *   --budget=T      stop after T wall-clock seconds (e.g. 120s);
+ *                   overrides --seeds with "as many as fit"
+ *   --replay=SEED   run exactly one seed and print its transcript
+ *   --artifacts=DIR write failing_seed.txt / minimized_scenario.txt /
+ *                   transcript.txt there on failure (default ".")
+ *   --no-trace      skip trace recording (faster soak)
+ *
+ * Exit code 0 = all seeds clean, 1 = a failure was found (artifacts
+ * written), 2 = bad usage.
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "apps/fuzz_runner.h"
+#include "bench/bench_util.h"
+#include "sim/fuzz.h"
+#include "util/strings.h"
+
+using namespace fld;
+
+namespace {
+
+struct CliOptions
+{
+    uint64_t seeds = 100;
+    uint64_t seed0 = 1;
+    double budget_sec = 0; ///< 0 = no time budget
+    bool replay = false;
+    uint64_t replay_seed = 0;
+    std::string artifacts = ".";
+    bool trace = true;
+};
+
+bool
+parse_args(int argc, char** argv, CliOptions& o)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&](const char* prefix) -> const char* {
+            size_t n = std::string(prefix).size();
+            return a.rfind(prefix, 0) == 0 ? a.c_str() + n : nullptr;
+        };
+        if (const char* v = val("--seeds="))
+            o.seeds = std::strtoull(v, nullptr, 0);
+        else if (const char* v = val("--seed0="))
+            o.seed0 = std::strtoull(v, nullptr, 0);
+        else if (const char* v = val("--budget="))
+            o.budget_sec = std::strtod(v, nullptr); // "120s" parses as 120
+        else if (const char* v = val("--replay=")) {
+            o.replay = true;
+            o.replay_seed = std::strtoull(v, nullptr, 0);
+        } else if (const char* v = val("--artifacts="))
+            o.artifacts = v;
+        else if (a == "--no-trace")
+            o.trace = false;
+        else {
+            std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+apps::FuzzRunner
+make_runner(const CliOptions& o)
+{
+    apps::FuzzRunOptions ropt;
+    // The benches' canonical calibrated setup is the base every
+    // scenario perturbs: same addressing, same testbed defaults.
+    ropt.base_gen = bench::closed_loop_gen(/*frame=*/64, /*window=*/8);
+    ropt.base_tb = apps::TestbedConfig{};
+    ropt.check_trace = o.trace;
+    return apps::FuzzRunner(std::move(ropt));
+}
+
+void
+write_file(const std::string& path, const std::string& content)
+{
+    std::ofstream f(path);
+    f << content;
+}
+
+int
+report_failure(const CliOptions& o, apps::FuzzRunner& runner,
+               const sim::FuzzScenario& failing,
+               const apps::FuzzVerdict& verdict)
+{
+    std::printf("\nFAILURE at seed %llu: %s\n",
+                (unsigned long long)failing.seed,
+                failing.summary().c_str());
+    for (const std::string& why : verdict.violations)
+        std::printf("  %s\n", why.c_str());
+
+    std::printf("shrinking...\n");
+    sim::ScenarioShrinker shrinker(
+        [&](const sim::FuzzScenario& s) { return !runner.run(s).ok; });
+    sim::ShrinkResult shrunk = shrinker.shrink(failing);
+    std::printf("shrunk after %u runs (%u accepted): %s\n",
+                shrunk.predicate_runs, shrunk.accepted_mutations,
+                shrunk.scenario.summary().c_str());
+
+    apps::FuzzVerdict mv = runner.run(shrunk.scenario);
+    write_file(o.artifacts + "/failing_seed.txt",
+               std::to_string(failing.seed) + "\n");
+    write_file(o.artifacts + "/minimized_scenario.txt",
+               shrunk.scenario.to_string());
+    write_file(o.artifacts + "/transcript.txt", mv.transcript);
+    std::printf("artifacts written to %s "
+                "(failing_seed.txt, minimized_scenario.txt, "
+                "transcript.txt)\n",
+                o.artifacts.c_str());
+    std::printf("replay with: fld_fuzz --replay=%llu\n",
+                (unsigned long long)failing.seed);
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    CliOptions o;
+    if (!parse_args(argc, argv, o))
+        return 2;
+
+    sim::ScenarioFuzzer fuzzer;
+    apps::FuzzRunner runner = make_runner(o);
+
+    if (o.replay) {
+        sim::FuzzScenario s = fuzzer.generate(o.replay_seed);
+        apps::FuzzVerdict v = runner.run(s);
+        std::printf("%s", v.transcript.c_str());
+        std::printf("transcript_hash = %016llx\n",
+                    (unsigned long long)v.transcript_hash);
+        return v.ok ? 0 : report_failure(o, runner, s, v);
+    }
+
+    auto start = std::chrono::steady_clock::now();
+    auto elapsed_sec = [&] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+
+    uint64_t ran = 0;
+    for (uint64_t i = 0;; ++i) {
+        if (o.budget_sec > 0) {
+            if (elapsed_sec() >= o.budget_sec)
+                break;
+        } else if (i >= o.seeds) {
+            break;
+        }
+        uint64_t seed = o.seed0 + i;
+        sim::FuzzScenario s = fuzzer.generate(seed);
+        apps::FuzzVerdict v = runner.run(s);
+        ++ran;
+        if (!v.ok)
+            return report_failure(o, runner, s, v);
+        if (ran % 25 == 0 || (o.budget_sec == 0 && ran == o.seeds))
+            std::printf("[%llu/%s] seed %llu ok: %s\n",
+                        (unsigned long long)ran,
+                        o.budget_sec > 0
+                            ? strfmt("%.0fs", o.budget_sec).c_str()
+                            : std::to_string(o.seeds).c_str(),
+                        (unsigned long long)seed, s.summary().c_str());
+    }
+    std::printf("all %llu seeds clean (%.1fs)\n",
+                (unsigned long long)ran, elapsed_sec());
+    return 0;
+}
