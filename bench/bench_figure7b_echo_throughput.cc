@@ -167,6 +167,7 @@ main(int argc, char** argv)
     std::string trace_path = bench::parse_trace_option(argc, argv);
     if (!trace_path.empty())
         return run_trace_smoke(trace_path);
+    unsigned jobs = bench::parse_jobs_option(argc, argv);
 
     bench::banner("Figure 7b: echo throughput vs packet size",
                   "FlexDriver §8.1.1-8.1.2");
@@ -179,21 +180,29 @@ main(int argc, char** argv)
     t.header({"Frame B", "FLD-E remote", "FLD-E local", "CPU remote",
               "FLD-R remote", "FLD-R local", "model (remote)",
               "eth line"});
-    for (size_t size : {64u, 128u, 256u, 512u, 1024u, 1500u}) {
-        double fld_remote = run_fld_echo(true, size);
-        double fld_local = run_fld_echo(false, size);
-        double cpu = run_cpu_echo(size);
-        // FLD-R: message = frame payload; headers ride the transport.
-        double fldr = run_fldr_echo(true, size);
-        double fldr_local = run_fldr_echo(false, size);
-        t.row({strfmt("%zu", size), format_gbps(fld_remote),
-               format_gbps(fld_local), format_gbps(cpu),
-               format_gbps(fldr), format_gbps(fldr_local),
-               format_gbps(model::fld_expected_gbps(remote_model,
-                                                    uint32_t(size))),
-               format_gbps(
-                   model::eth_goodput_gbps(25.0, uint32_t(size)))});
-    }
+    const std::vector<size_t> sizes = {64, 128, 256, 512, 1024, 1500};
+    // Each row builds independent testbeds, so rows can sweep in
+    // parallel (--jobs=N); results land in size order either way.
+    auto rows = bench::parallel_rows(
+        sizes.size(), jobs, [&](size_t i) -> std::vector<std::string> {
+            size_t size = sizes[i];
+            double fld_remote = run_fld_echo(true, size);
+            double fld_local = run_fld_echo(false, size);
+            double cpu = run_cpu_echo(size);
+            // FLD-R: message = frame payload; headers ride the
+            // transport.
+            double fldr = run_fldr_echo(true, size);
+            double fldr_local = run_fldr_echo(false, size);
+            return {strfmt("%zu", size), format_gbps(fld_remote),
+                    format_gbps(fld_local), format_gbps(cpu),
+                    format_gbps(fldr), format_gbps(fldr_local),
+                    format_gbps(model::fld_expected_gbps(
+                        remote_model, uint32_t(size))),
+                    format_gbps(
+                        model::eth_goodput_gbps(25.0, uint32_t(size)))};
+        });
+    for (auto& row : rows)
+        t.row(row);
     t.print();
     bench::note("paper shape: FLD-E meets the model from ~128 B "
                 "(remote) / ~256 B (local); on par with the CPU "

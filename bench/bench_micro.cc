@@ -6,6 +6,7 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <numeric>
 
 #include "crypto/sha256.h"
@@ -15,7 +16,9 @@
 #include "net/checksum.h"
 #include "net/headers.h"
 #include "net/ip_reassembly.h"
+#include "net/packet.h"
 #include "net/toeplitz.h"
+#include "sim/event_queue.h"
 #include "util/rng.h"
 
 using namespace fld;
@@ -159,6 +162,61 @@ BM_PacketBuildParse(benchmark::State& state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PacketBuildParse);
+
+static void
+BM_EventQueueScheduleRun(benchmark::State& state)
+{
+    // The simulator's innermost loop: schedule a batch of events with
+    // small captures (the shape of every datapath hop) and drain them.
+    // Measures scheduling-side allocation plus the per-event execute
+    // cost of the queue itself.
+    sim::EventQueue eq;
+    constexpr int kBatch = 1024;
+    uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < kBatch; ++i) {
+            eq.schedule_in(sim::TimePs(i % 7),
+                           [&sink, i] { sink += uint64_t(i); });
+        }
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_PacketPipelineCopy(benchmark::State& state)
+{
+    // A frame hopping through scheduled pipeline stages by move, the
+    // way wire -> NIC -> fabric -> driver hand packets around. Any
+    // hidden per-hop payload copy inside the event queue shows up
+    // directly in the bytes/sec figure.
+    sim::EventQueue eq;
+    const size_t frame = size_t(state.range(0));
+    constexpr int kHops = 8;
+    uint64_t sink = 0;
+    std::function<void(net::Packet&&, int)> hop =
+        [&](net::Packet&& p, int hops_left) {
+            if (hops_left == 0) {
+                sink += p.size();
+                return;
+            }
+            eq.schedule_in(1, [&hop, hops_left,
+                               p = std::move(p)]() mutable {
+                hop(std::move(p), hops_left - 1);
+            });
+        };
+    for (auto _ : state) {
+        net::Packet pkt(std::vector<uint8_t>(frame, 0xab));
+        hop(std::move(pkt), kHops);
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetBytesProcessed(state.iterations() * int64_t(frame) *
+                            kHops);
+}
+BENCHMARK(BM_PacketPipelineCopy)->Arg(64)->Arg(1500)->Arg(9000);
 
 static void
 BM_IpFragmentReassemble(benchmark::State& state)

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Simulator-throughput telemetry: measures how fast the discrete-event
+ * engine executes the paper's echo-throughput scenarios (events/sec,
+ * simulated-packets/sec, sim-time/wall-time ratio) and writes the
+ * samples to BENCH_SIM_PERF.json so CI can archive simulator-speed
+ * numbers per commit.
+ *
+ * This intentionally measures the *simulator*, not the simulated
+ * hardware: the Gbps tables live in bench_figure7b; this file answers
+ * "how long does reproducing them take, and is the engine regressing".
+ *
+ * Usage: bench_sim_perf [--out=PATH]   (default ./BENCH_SIM_PERF.json)
+ */
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "apps/scenarios.h"
+#include "bench/bench_util.h"
+#include "sim/sim_perf.h"
+
+using namespace fld;
+using namespace fld::apps;
+
+namespace {
+
+constexpr sim::TimePs kWarmup = sim::milliseconds(1);
+constexpr sim::TimePs kDuration = sim::milliseconds(4);
+
+/** Run one echo scenario to completion, sampling engine telemetry. */
+template <class MakeScenario>
+sim::SimPerfSample
+sample_echo(const std::string& name, MakeScenario&& make,
+            const PktGenConfig& g)
+{
+    auto s = make(g);
+    s->gen->start(kWarmup, kDuration);
+    auto& eq = s->tb->eq;
+    uint64_t events0 = eq.executed_total();
+    sim::TimePs sim0 = eq.now();
+    auto t0 = std::chrono::steady_clock::now();
+    eq.run();
+    auto t1 = std::chrono::steady_clock::now();
+
+    sim::SimPerfSample out;
+    out.name = name;
+    out.wall_sec = std::chrono::duration<double>(t1 - t0).count();
+    out.events = eq.executed_total() - events0;
+    out.packets = s->gen->rx_meter().packets();
+    out.sim_time = eq.now() - sim0;
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string out_path = "BENCH_SIM_PERF.json";
+    const std::string prefix = "--out=";
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind(prefix, 0) == 0)
+            out_path = a.substr(prefix.size());
+    }
+
+    bench::banner("Simulator throughput (events/sec, packets/sec)",
+                  "engine telemetry");
+
+    auto fld_echo = [](const PktGenConfig& g) {
+        return make_fld_echo(true, g);
+    };
+    auto cpu_echo = [](const PktGenConfig& g) {
+        return make_cpu_echo(true, g);
+    };
+
+    sim::SimPerfReport report;
+    report.add(sample_echo("fld_echo_remote_64B", fld_echo,
+                           bench::open_loop_gen(64)));
+    report.add(sample_echo("fld_echo_remote_256B", fld_echo,
+                           bench::open_loop_gen(256)));
+    report.add(sample_echo("fld_echo_remote_1500B", fld_echo,
+                           bench::open_loop_gen(1500)));
+    report.add(sample_echo("cpu_echo_remote_256B", cpu_echo,
+                           bench::open_loop_gen(256)));
+    report.add(sample_echo("fld_echo_imc_mix", fld_echo,
+                           bench::imc_mix_gen()));
+
+    TextTable t;
+    t.header({"Scenario", "events/s", "pkts/s", "sim/wall", "wall s"});
+    for (const sim::SimPerfSample& s : report.samples()) {
+        t.row({s.name, strfmt("%.2fM", s.events_per_sec() / 1e6),
+               strfmt("%.2fM", s.packets_per_sec() / 1e6),
+               strfmt("%.4f", s.sim_time_ratio()),
+               strfmt("%.3f", s.wall_sec)});
+    }
+    t.print();
+
+    if (!report.write_json(out_path)) {
+        std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+        return 1;
+    }
+    bench::note("wrote " + out_path);
+    return 0;
+}

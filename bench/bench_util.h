@@ -8,8 +8,13 @@
 #ifndef FLD_BENCH_BENCH_UTIL_H
 #define FLD_BENCH_BENCH_UTIL_H
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "apps/scenarios.h"
 #include "util/strings.h"
@@ -44,6 +49,61 @@ parse_trace_option(int argc, char** argv)
             return arg.substr(prefix.size());
     }
     return {};
+}
+
+/**
+ * Parse the `--jobs=N` knob shared by the sweep benches. Returns 1
+ * (serial) when not given.
+ */
+inline unsigned
+parse_jobs_option(int argc, char** argv)
+{
+    const std::string prefix = "--jobs=";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) == 0) {
+            unsigned long v = std::strtoul(
+                arg.c_str() + prefix.size(), nullptr, 0);
+            return v < 1 ? 1u : unsigned(v);
+        }
+    }
+    return 1;
+}
+
+/**
+ * Evaluate @p fn(i) for i in [0, n) across @p jobs worker threads and
+ * return the results in index order, so a parallel sweep prints the
+ * same table as a serial one. Each fn(i) must be self-contained (its
+ * own testbed/EventQueue); the per-thread Tracer slot keeps traced
+ * rows from interfering. Rows are claimed from an atomic counter, so
+ * results are deterministic for any jobs value — only wall-clock
+ * completion order varies.
+ */
+inline std::vector<std::vector<std::string>>
+parallel_rows(size_t n, unsigned jobs,
+              const std::function<std::vector<std::string>(size_t)>& fn)
+{
+    std::vector<std::vector<std::string>> rows(n);
+    if (jobs <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            rows[i] = fn(i);
+        return rows;
+    }
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            rows[i] = fn(i);
+        }
+    };
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < jobs && t < n; ++t)
+        pool.emplace_back(worker);
+    for (auto& th : pool)
+        th.join();
+    return rows;
 }
 
 // ---------------------------------------------------------------------

@@ -45,8 +45,8 @@ struct FuzzRunOptions
     /** Base generator configuration (addressing, ports). */
     PktGenConfig base_gen;
     /** Record + check packet-lifecycle traces (oracle b). Uses the
-     *  process-global Tracer slot, so at most one FuzzRunner may have
-     *  this enabled per process at a time. */
+     *  thread-local Tracer slot, so at most one FuzzRunner may have
+     *  this enabled per thread at a time (one per sweep worker). */
     bool check_trace = true;
     /** Generator send-phase bound; the budgeted packet count is the
      *  real stop condition, this only caps pathological stalls. */

@@ -145,6 +145,8 @@ CpuDriver::send(uint32_t q, net::Packet&& frame)
             Queue& qu2 = queues_[q];
             uint64_t data = qu2.data_arena +
                             uint64_t(slot) * kTxSlotBytes;
+            // Intentional copy: stages the frame into DMA-visible
+            // host memory, the data movement a real driver performs.
             std::memcpy(hostmem_.raw(data, frame.size()),
                         frame.bytes(), frame.size());
 

@@ -116,6 +116,8 @@ RdmaClient::post_send(std::vector<uint8_t> payload, uint32_t msg_id)
             uint64_t data = data_arena_ +
                             uint64_t(slot) * cfg_.max_msg_bytes;
             if (!payload.empty())
+                // Intentional copy: stages the message into
+                // DMA-visible host memory, as a real verbs post does.
                 std::memcpy(hostmem_.raw(data, payload.size()),
                             payload.data(), payload.size());
 

@@ -83,6 +83,8 @@ SoftwareSendStack::send(const uint8_t* data, size_t len)
         Segment seg;
         seg.seq = snd_nxt_;
         size_t n = std::min<size_t>(cfg_.mss, len - off);
+        // Intentional copy: each segment owns its bytes so it can be
+        // retransmitted after the caller's buffer is gone.
         seg.payload.assign(data + off, data + off + n);
         seg.push = off + n == len;
         snd_nxt_ += uint32_t(n);

@@ -542,6 +542,8 @@ FlexDriver::handle_rx_cqe(const nic::Cqe& cqe)
     }
 
     StreamPacket pkt;
+    // Intentional copy: models the FLD pulling the frame out of RX
+    // SRAM into the accelerator stream; the SRAM slot is recycled.
     pkt.data.assign(rx_sram_.begin() + long(base),
                     rx_sram_.begin() + long(base + cqe.byte_count));
     pkt.meta.queue = cqe.qpn;

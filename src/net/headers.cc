@@ -369,6 +369,8 @@ vxlan_decapsulate(const Packet& outer)
         return std::nullopt;
 
     Packet inner;
+    // Intentional copy: decap takes the outer frame by const ref
+    // (callers may still need it, e.g. to re-encap or count bytes).
     inner.data.assign(outer.bytes() + inner_off,
                       outer.bytes() + outer.size());
     inner.meta = outer.meta;

@@ -1037,6 +1037,8 @@ NicDevice::transmit_segments(uint32_t qpn, const TxMsg& msg)
         eth.encode(pkt.bytes());
         hdr.encode(pkt.bytes() + net::kEthHeaderLen);
         if (chunk > 0) {
+            // Intentional copy: segments are cut from msg.payload,
+            // which must stay intact for go-back-N retransmission.
             std::memcpy(pkt.bytes() + net::kEthHeaderLen +
                             kRdmaHeaderLen,
                         msg.payload.data() + off, chunk);
@@ -1091,11 +1093,13 @@ NicDevice::rdma_rx(VportId vport, net::Packet&& pkt)
     bool last = hdr.opcode == RdmaOpcode::SendLast ||
                 hdr.opcode == RdmaOpcode::SendOnly;
 
+    // Strip L2+RDMA headers in place on the moved frame: one memmove
+    // within the existing buffer instead of a fresh allocation plus
+    // payload copy per received segment.
     size_t payload_off = net::kEthHeaderLen + kRdmaHeaderLen;
-    net::Packet payload;
-    payload.data.assign(pkt.bytes() + payload_off,
-                        pkt.bytes() + pkt.size());
-    payload.meta = pkt.meta;
+    net::Packet payload = std::move(pkt);
+    payload.data.erase(payload.data.begin(),
+                       payload.data.begin() + long(payload_off));
     uint32_t payload_len = uint32_t(payload.size());
 
     Cqe info;

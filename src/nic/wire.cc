@@ -62,6 +62,8 @@ EthernetLink::connect(NetPort& src, NetPort& dst, sim::TimePs& busy_until,
                 return;
               case sim::WireFault::Duplicate: {
                 inject("dup");
+                // Intentional copy: the fault emits two independent
+                // frames on the wire, so each needs its own buffer.
                 net::Packet copy = pkt;
                 // The duplicate serializes right behind the original.
                 busy_until +=

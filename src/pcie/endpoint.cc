@@ -1,10 +1,43 @@
 #include "pcie/endpoint.h"
 
+#include <algorithm>
 #include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FLD_HAVE_MMAP 1
+#include <sys/mman.h>
+#endif
 
 #include "util/logging.h"
 
 namespace fld::pcie {
+
+MemoryEndpoint::MemoryEndpoint(std::string name, size_t capacity)
+    : name_(std::move(name)), capacity_(capacity)
+{
+#ifdef FLD_HAVE_MMAP
+    // MAP_NORESERVE: reserve address space only; pages materialize
+    // (kernel-zeroed) on first touch, so an endpoint costs what the
+    // simulation actually writes, not its nominal capacity.
+    void* p = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS
+#ifdef MAP_NORESERVE
+                         | MAP_NORESERVE
+#endif
+                     ,
+                     -1, 0);
+    if (p != MAP_FAILED)
+        map_ = static_cast<uint8_t*>(p);
+#endif
+}
+
+MemoryEndpoint::~MemoryEndpoint()
+{
+#ifdef FLD_HAVE_MMAP
+    if (map_)
+        ::munmap(map_, capacity_);
+#endif
+}
 
 void
 MemoryEndpoint::ensure(uint64_t end)
@@ -12,8 +45,18 @@ MemoryEndpoint::ensure(uint64_t end)
     if (end > capacity_)
         fatal("%s: access beyond capacity (%llu > %zu)", name_.c_str(),
               (unsigned long long)end, capacity_);
-    if (end > mem_.size())
+    if (map_)
+        return; // the mapping already spans the full capacity
+    if (end > mem_.size()) {
+        // Fallback path: grow geometrically so arena bump allocators
+        // touching steadily increasing offsets don't trigger a
+        // realloc-and-copy of the whole backing store per touch.
+        if (end > mem_.capacity()) {
+            size_t want = std::max<size_t>(end, mem_.capacity() * 2);
+            mem_.reserve(std::min(want, capacity_));
+        }
         mem_.resize(end, 0);
+    }
 }
 
 void
@@ -21,7 +64,7 @@ MemoryEndpoint::bar_write(uint64_t addr, const uint8_t* data, size_t len)
 {
     ensure(addr + len);
     if (len > 0)
-        std::memcpy(mem_.data() + addr, data, len);
+        std::memcpy((map_ ? map_ : mem_.data()) + addr, data, len);
     for (const auto& w : watches_) {
         if (addr < w.base + w.size && w.base < addr + len)
             w.fn(addr, len);
@@ -39,14 +82,14 @@ MemoryEndpoint::bar_read(uint64_t addr, uint8_t* out, size_t len)
 {
     ensure(addr + len);
     if (len > 0)
-        std::memcpy(out, mem_.data() + addr, len);
+        std::memcpy(out, (map_ ? map_ : mem_.data()) + addr, len);
 }
 
 uint8_t*
 MemoryEndpoint::raw(uint64_t addr, size_t len)
 {
     ensure(addr + len);
-    return mem_.data() + addr;
+    return (map_ ? map_ : mem_.data()) + addr;
 }
 
 } // namespace fld::pcie

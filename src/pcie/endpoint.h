@@ -41,15 +41,25 @@ class PcieEndpoint
 };
 
 /**
- * Flat RAM endpoint (host DRAM in the model). Grows on demand up to
- * the configured capacity; reads of untouched memory return zeros.
+ * Flat RAM endpoint (host DRAM in the model). Reads of untouched
+ * memory return zeros.
+ *
+ * Storage is a lazily-faulted anonymous mapping of the full capacity
+ * (with a demand-grown std::vector fallback off POSIX): reserving
+ * 256 MB of virtual space is free, the kernel zero-fills only the
+ * pages actually touched, and ensure() is a pure bounds check. With
+ * eager vector growth, a single write near the top of a driver arena
+ * used to zero-fill tens of MB per testbed — the dominant cost of
+ * multi-hundred-seed fuzz sweeps.
  */
 class MemoryEndpoint : public PcieEndpoint
 {
   public:
-    explicit MemoryEndpoint(std::string name, size_t capacity)
-        : name_(std::move(name)), capacity_(capacity)
-    {}
+    explicit MemoryEndpoint(std::string name, size_t capacity);
+    ~MemoryEndpoint() override;
+
+    MemoryEndpoint(const MemoryEndpoint&) = delete;
+    MemoryEndpoint& operator=(const MemoryEndpoint&) = delete;
 
     void bar_write(uint64_t addr, const uint8_t* data,
                    size_t len) override;
@@ -82,7 +92,8 @@ class MemoryEndpoint : public PcieEndpoint
 
     std::string name_;
     size_t capacity_;
-    std::vector<uint8_t> mem_;
+    uint8_t* map_ = nullptr;    ///< mmap-backed storage (POSIX)
+    std::vector<uint8_t> mem_;  ///< fallback storage when map_ == null
     std::vector<Watch> watches_;
 };
 

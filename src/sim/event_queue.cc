@@ -1,16 +1,79 @@
 #include "sim/event_queue.h"
 
-#include "util/logging.h"
+#include <cassert>
+#include <utility>
 
 namespace fld::sim {
 
 void
+EventQueue::heap_push(HeapEntry e)
+{
+    heap_.push_back(e);
+    size_t i = heap_.size() - 1;
+    while (i > 0) {
+        size_t parent = (i - 1) / 2;
+        if (!fires_before(heap_[i], heap_[parent]))
+            break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
+    }
+}
+
+EventQueue::HeapEntry
+EventQueue::heap_pop()
+{
+    HeapEntry top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    size_t n = heap_.size();
+    size_t i = 0;
+    for (;;) {
+        size_t left = 2 * i + 1;
+        if (left >= n)
+            break;
+        size_t best = left;
+        size_t right = left + 1;
+        if (right < n && fires_before(heap_[right], heap_[left]))
+            best = right;
+        if (!fires_before(heap_[best], heap_[i]))
+            break;
+        std::swap(heap_[i], heap_[best]);
+        i = best;
+    }
+    return top;
+}
+
+void
 EventQueue::schedule_at(TimePs when, Callback cb)
 {
+    assert(when >= now_ && "scheduling into the past");
     if (when < now_)
-        panic("scheduling into the past: %llu < %llu",
-              (unsigned long long)when, (unsigned long long)now_);
-    heap_.push(Event{when, next_seq_++, std::move(cb)});
+        when = now_; // clamp: runs this tick, after same-tick events
+    uint64_t seq = next_seq_++;
+    uint32_t idx;
+    if (!free_nodes_.empty()) {
+        idx = free_nodes_.back();
+        free_nodes_.pop_back();
+        pool_[idx].cb = std::move(cb);
+    } else {
+        idx = uint32_t(pool_.size());
+        pool_.push_back(Node{std::move(cb)});
+    }
+    heap_push(HeapEntry{when, seq, idx});
+}
+
+EventQueue::Callback
+EventQueue::take_next()
+{
+    HeapEntry top = heap_pop();
+    now_ = top.when;
+    // Move the callback out before invoking: a re-entrant schedule_at
+    // may grow the pool, so nothing may hold a Node reference across
+    // the call. The node is released first so same-tick re-scheduling
+    // can reuse it immediately.
+    Callback cb = std::move(pool_[top.node].cb);
+    free_nodes_.push_back(top.node);
+    return cb;
 }
 
 uint64_t
@@ -18,14 +81,11 @@ EventQueue::run()
 {
     uint64_t executed = 0;
     while (!heap_.empty()) {
-        // Copying the callback out before pop keeps re-entrant
-        // scheduling from invalidating the event being executed.
-        Event ev = heap_.top();
-        heap_.pop();
-        now_ = ev.when;
-        ev.cb();
+        Callback cb = take_next();
+        cb();
         ++executed;
     }
+    executed_total_ += executed;
     return executed;
 }
 
@@ -33,22 +93,25 @@ uint64_t
 EventQueue::run_until(TimePs deadline)
 {
     uint64_t executed = 0;
-    while (!heap_.empty() && heap_.top().when <= deadline) {
-        Event ev = heap_.top();
-        heap_.pop();
-        now_ = ev.when;
-        ev.cb();
+    while (!heap_.empty() && heap_.front().when <= deadline) {
+        Callback cb = take_next();
+        cb();
         ++executed;
     }
     if (now_ < deadline)
         now_ = deadline;
+    executed_total_ += executed;
     return executed;
 }
 
 void
 EventQueue::clear()
 {
-    heap_ = {};
+    for (const HeapEntry& e : heap_) {
+        pool_[e.node].cb.reset();
+        free_nodes_.push_back(e.node);
+    }
+    heap_.clear();
 }
 
 } // namespace fld::sim

@@ -6,15 +6,21 @@
  * PCIe fabric, FLD, accelerators). Events scheduled for the same tick
  * execute in scheduling order (a monotonic sequence number breaks ties),
  * which keeps runs deterministic.
+ *
+ * Hot-path design: callbacks are move-only InlineCallbacks (no
+ * std::function, no per-event copy of captured packet payloads) stored
+ * in a recycled node pool, while the ordering heap holds only small
+ * {when, seq, node} entries — so sift operations shuffle 24-byte
+ * records, never callables. Steady-state scheduling performs zero heap
+ * allocations once the pool has warmed up.
  */
 #ifndef FLD_SIM_EVENT_QUEUE_H
 #define FLD_SIM_EVENT_QUEUE_H
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/inline_callback.h"
 #include "sim/time.h"
 
 namespace fld::sim {
@@ -22,12 +28,18 @@ namespace fld::sim {
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
 
     /** Current simulated time. */
     TimePs now() const { return now_; }
 
-    /** Schedule @p cb to run at absolute time @p when (>= now). */
+    /**
+     * Schedule @p cb to run at absolute time @p when. Scheduling into
+     * the past would reorder already-executed history; @p when is
+     * clamped to now() (with a debug assert, so tests catch the
+     * offending component) and the event runs this tick, after all
+     * previously scheduled same-tick events.
+     */
     void schedule_at(TimePs when, Callback cb);
 
     /** Schedule @p cb to run @p delay after the current time. */
@@ -51,26 +63,45 @@ class EventQueue
     /** Drop all pending events (used between experiment phases). */
     void clear();
 
+    /**
+     * Lifetime telemetry (events/sec reporting): events executed and
+     * scheduled since construction. Both survive clear().
+     */
+    uint64_t executed_total() const { return executed_total_; }
+    uint64_t scheduled_total() const { return next_seq_; }
+
   private:
-    struct Event
+    /** Pooled event body; nodes are recycled through free_nodes_. */
+    struct Node
+    {
+        Callback cb;
+    };
+    /** Heap entry: everything ordering needs, nothing it doesn't. */
+    struct HeapEntry
     {
         TimePs when;
         uint64_t seq;
-        Callback cb;
+        uint32_t node;
     };
-    struct Later
+
+    static bool fires_before(const HeapEntry& a, const HeapEntry& b)
     {
-        bool operator()(const Event& a, const Event& b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    void heap_push(HeapEntry e);
+    HeapEntry heap_pop();
+    /** Pop the next event, set now_, release its node, return its cb. */
+    Callback take_next();
 
     TimePs now_ = 0;
     uint64_t next_seq_ = 0;
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    uint64_t executed_total_ = 0;
+    std::vector<Node> pool_;
+    std::vector<uint32_t> free_nodes_;
+    std::vector<HeapEntry> heap_;
 };
 
 } // namespace fld::sim

@@ -1,0 +1,42 @@
+#include "sim/sim_perf.h"
+
+#include <fstream>
+
+#include "util/strings.h"
+
+namespace fld::sim {
+
+std::string
+SimPerfReport::to_json() const
+{
+    std::string out = "{\n  \"samples\": [";
+    bool first = true;
+    for (const SimPerfSample& s : samples_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += strfmt(
+            "    {\"name\": \"%s\", \"wall_sec\": %.6f, "
+            "\"events\": %llu, \"packets\": %llu, "
+            "\"sim_sec\": %.9f, \"events_per_sec\": %.0f, "
+            "\"packets_per_sec\": %.0f, \"sim_time_ratio\": %.6f}",
+            s.name.c_str(), s.wall_sec,
+            (unsigned long long)s.events,
+            (unsigned long long)s.packets, to_sec(s.sim_time),
+            s.events_per_sec(), s.packets_per_sec(),
+            s.sim_time_ratio());
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+bool
+SimPerfReport::write_json(const std::string& path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    f << to_json();
+    return bool(f);
+}
+
+} // namespace fld::sim

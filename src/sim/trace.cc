@@ -11,8 +11,6 @@
 
 namespace fld::sim {
 
-Tracer* Tracer::active_ = nullptr;
-
 const char*
 to_string(TraceEventKind kind)
 {
@@ -39,16 +37,16 @@ Tracer::~Tracer()
 void
 Tracer::install()
 {
-    if (active_ != nullptr && active_ != this)
+    if (detail::active_tracer != nullptr && detail::active_tracer != this)
         panic("a Tracer is already installed");
-    active_ = this;
+    detail::active_tracer = this;
 }
 
 void
 Tracer::uninstall()
 {
-    if (active_ == this)
-        active_ = nullptr;
+    if (detail::active_tracer == this)
+        detail::active_tracer = nullptr;
 }
 
 void

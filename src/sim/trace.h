@@ -41,6 +41,15 @@ enum class TraceEventKind : uint8_t {
 
 const char* to_string(TraceEventKind kind);
 
+class Tracer;
+namespace detail {
+/// The per-thread active-tracer slot. constinit + inline keeps the
+/// hot-path `Tracer::active()` check a direct TLS load (no dynamic-
+/// initialization wrapper, which UBSan also objects to for extern
+/// thread_local members).
+inline constinit thread_local Tracer* active_tracer = nullptr;
+} // namespace detail
+
 /// A single recorded transaction.
 struct TraceEvent {
     TimePs time = 0;            ///< simulation time of the transaction
@@ -55,8 +64,10 @@ struct TraceEvent {
 };
 
 ///
-/// Structured event recorder.  Install at most one per process; components
-/// discover it through the process-global `active()` pointer.
+/// Structured event recorder.  Install at most one per thread; components
+/// discover it through the thread-local `active()` pointer.  The slot
+/// being thread-local is what lets parallel sweep workers each trace
+/// their own testbed without cross-talk.
 ///
 class Tracer {
 public:
@@ -67,10 +78,10 @@ public:
     Tracer& operator=(const Tracer&) = delete;
 
     /// The currently installed tracer, or nullptr when tracing is off.
-    static Tracer* active() { return active_; }
+    static Tracer* active() { return detail::active_tracer; }
 
-    /// Make this tracer the process-global one.  Panics if another tracer
-    /// is already installed.
+    /// Make this tracer the calling thread's active one.  Panics if
+    /// another tracer is already installed on this thread.
     void install();
 
     /// Detach this tracer (no-op if it is not the active one).  Recorded
@@ -114,7 +125,6 @@ public:
     causal_skeletons(const std::string& detail_filter = "") const;
 
 private:
-    static Tracer* active_;
     std::vector<TraceEvent> events_;
     uint64_t last_corr_ = 0;
 };

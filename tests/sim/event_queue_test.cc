@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 namespace fld::sim {
@@ -147,12 +149,104 @@ TEST(EventQueue, ClearBetweenPhasesPreservesClock)
     EXPECT_EQ(eq.now(), 150u);
 }
 
-TEST(EventQueueDeath, SchedulingIntoPastPanics)
+#ifdef NDEBUG
+TEST(EventQueue, SchedulingIntoPastClampsToNow)
+{
+    // A component computing "when" from stale state may land in the
+    // past; the queue clamps to now() and the event runs this tick,
+    // after every event already scheduled for it (seq still grows).
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule_at(100, [&] {
+        order.push_back(0);
+        eq.schedule_at(50, [&] { order.push_back(2); });
+    });
+    eq.schedule_at(100, [&] { order.push_back(1); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(eq.now(), 100u);
+}
+#else
+TEST(EventQueueDeath, SchedulingIntoPastAssertsInDebug)
 {
     EventQueue eq;
     eq.schedule_at(100, [] {});
     eq.run();
     EXPECT_DEATH(eq.schedule_at(50, [] {}), "past");
+}
+#endif
+
+TEST(EventQueue, MoveOnlyCallbacksAreAccepted)
+{
+    // std::function required copyable callables; the inline callback
+    // type must not, so packet-carrying events never pay a copy.
+    EventQueue eq;
+    auto value = std::make_unique<int>(41);
+    int seen = 0;
+    eq.schedule_at(10, [v = std::move(value), &seen] { seen = *v + 1; });
+    eq.run();
+    EXPECT_EQ(seen, 42);
+}
+
+namespace {
+struct CopyCounter
+{
+    static int copies;
+    std::vector<uint8_t> payload = std::vector<uint8_t>(2048, 0xab);
+    CopyCounter() = default;
+    CopyCounter(const CopyCounter& o) : payload(o.payload) { ++copies; }
+    CopyCounter(CopyCounter&&) noexcept = default;
+};
+int CopyCounter::copies = 0;
+} // namespace
+
+TEST(EventQueue, NoPayloadCopiesThroughScheduledHops)
+{
+    // The old std::function queue copied the callback (and thus any
+    // captured payload) out of the heap on every executed event. The
+    // pooled queue must move end to end.
+    EventQueue eq;
+    CopyCounter::copies = 0;
+    size_t delivered = 0;
+    CopyCounter pkt;
+    eq.schedule_at(1, [p = std::move(pkt), &eq, &delivered]() mutable {
+        eq.schedule_in(1, [p = std::move(p), &delivered] {
+            delivered = p.payload.size();
+        });
+    });
+    eq.run();
+    EXPECT_EQ(delivered, 2048u);
+    EXPECT_EQ(CopyCounter::copies, 0);
+}
+
+TEST(EventQueue, OversizedCapturesFallBackToHeapAndStillRun)
+{
+    EventQueue eq;
+    std::array<uint64_t, 64> big{};
+    big[63] = 7;
+    uint64_t seen = 0;
+    eq.schedule_at(5, [big, &seen] { seen = big[63]; });
+    static_assert(sizeof(big) > InlineCallback::kInlineBytes);
+    eq.run();
+    EXPECT_EQ(seen, 7u);
+}
+
+TEST(EventQueue, LifetimeCountersSurviveClear)
+{
+    EventQueue eq;
+    eq.schedule_at(10, [] {});
+    eq.schedule_at(20, [] {});
+    eq.run();
+    eq.schedule_at(30, [] {});
+    eq.clear();
+    EXPECT_EQ(eq.scheduled_total(), 3u);
+    EXPECT_EQ(eq.executed_total(), 2u);
+    // Cleared nodes recycle; the queue stays usable.
+    int fired = 0;
+    eq.schedule_at(40, [&] { ++fired; });
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.executed_total(), 3u);
 }
 
 } // namespace

@@ -9,13 +9,15 @@
  * greedily shrinks the scenario and writes replayable artifacts.
  *
  * Usage:
- *   fld_fuzz [--seeds=N] [--seed0=S] [--budget=120s]
+ *   fld_fuzz [--seeds=N] [--seed0=S] [--budget=120s] [--jobs=N]
  *            [--replay=SEED] [--artifacts=DIR] [--no-trace]
  *
  *   --seeds=N       run N consecutive seeds (default 100)
  *   --seed0=S       first seed (default 1)
  *   --budget=T      stop after T wall-clock seconds (e.g. 120s);
  *                   overrides --seeds with "as many as fit"
+ *   --jobs=N        worker threads (default 1); any N yields the same
+ *                   verdict and artifacts (see apps/fuzz_sweep.h)
  *   --replay=SEED   run exactly one seed and print its transcript
  *   --artifacts=DIR write failing_seed.txt / minimized_scenario.txt /
  *                   transcript.txt there on failure (default ".")
@@ -31,6 +33,7 @@
 #include <string>
 
 #include "apps/fuzz_runner.h"
+#include "apps/fuzz_sweep.h"
 #include "bench/bench_util.h"
 #include "sim/fuzz.h"
 #include "util/strings.h"
@@ -44,6 +47,7 @@ struct CliOptions
     uint64_t seeds = 100;
     uint64_t seed0 = 1;
     double budget_sec = 0; ///< 0 = no time budget
+    unsigned jobs = 1;
     bool replay = false;
     uint64_t replay_seed = 0;
     std::string artifacts = ".";
@@ -65,6 +69,8 @@ parse_args(int argc, char** argv, CliOptions& o)
             o.seed0 = std::strtoull(v, nullptr, 0);
         else if (const char* v = val("--budget="))
             o.budget_sec = std::strtod(v, nullptr); // "120s" parses as 120
+        else if (const char* v = val("--jobs="))
+            o.jobs = unsigned(std::strtoul(v, nullptr, 0));
         else if (const char* v = val("--replay=")) {
             o.replay = true;
             o.replay_seed = std::strtoull(v, nullptr, 0);
@@ -80,8 +86,8 @@ parse_args(int argc, char** argv, CliOptions& o)
     return true;
 }
 
-apps::FuzzRunner
-make_runner(const CliOptions& o)
+apps::FuzzRunOptions
+runner_options(const CliOptions& o)
 {
     apps::FuzzRunOptions ropt;
     // The benches' canonical calibrated setup is the base every
@@ -89,7 +95,13 @@ make_runner(const CliOptions& o)
     ropt.base_gen = bench::closed_loop_gen(/*frame=*/64, /*window=*/8);
     ropt.base_tb = apps::TestbedConfig{};
     ropt.check_trace = o.trace;
-    return apps::FuzzRunner(std::move(ropt));
+    return ropt;
+}
+
+apps::FuzzRunner
+make_runner(const CliOptions& o)
+{
+    return apps::FuzzRunner(runner_options(o));
 }
 
 void
@@ -161,29 +173,31 @@ main(int argc, char** argv)
             .count();
     };
 
-    uint64_t ran = 0;
-    for (uint64_t i = 0;; ++i) {
-        if (o.budget_sec > 0) {
-            if (elapsed_sec() >= o.budget_sec)
-                break;
-        } else if (i >= o.seeds) {
-            break;
-        }
-        uint64_t seed = o.seed0 + i;
-        sim::FuzzScenario s = fuzzer.generate(seed);
-        apps::FuzzVerdict v = runner.run(s);
-        ++ran;
-        if (!v.ok)
-            return report_failure(o, runner, s, v);
-        if (ran % 25 == 0 || (o.budget_sec == 0 && ran == o.seeds))
+    apps::SweepOptions sweep;
+    sweep.seed0 = o.seed0;
+    sweep.seeds = o.seeds;
+    sweep.budget_sec = o.budget_sec;
+    sweep.jobs = o.jobs;
+    sweep.run = runner_options(o);
+    sweep.on_result = [&](uint64_t done, uint64_t seed,
+                          const sim::FuzzScenario& s,
+                          const apps::FuzzVerdict& v) {
+        if (v.ok && (done % 25 == 0 ||
+                     (o.budget_sec == 0 && done == o.seeds)))
             std::printf("[%llu/%s] seed %llu ok: %s\n",
-                        (unsigned long long)ran,
+                        (unsigned long long)done,
                         o.budget_sec > 0
                             ? strfmt("%.0fs", o.budget_sec).c_str()
                             : std::to_string(o.seeds).c_str(),
                         (unsigned long long)seed, s.summary().c_str());
-    }
-    std::printf("all %llu seeds clean (%.1fs)\n",
-                (unsigned long long)ran, elapsed_sec());
+    };
+
+    apps::SweepResult result = apps::run_sweep(sweep);
+    if (result.found_failure)
+        return report_failure(o, runner, result.failing_scenario,
+                              result.failing_verdict);
+    std::printf("all %llu seeds clean (%.1fs, jobs=%u)\n",
+                (unsigned long long)result.ran, elapsed_sec(),
+                o.jobs < 1 ? 1u : o.jobs);
     return 0;
 }
