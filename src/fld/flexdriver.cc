@@ -37,6 +37,30 @@ FlexDriver::FlexDriver(std::string name, sim::EventQueue& eq,
                 uint64_t(cfg.cq_entries) * 2 * 15);
     budget_.add("producer indices",
                 uint64_t(cfg.num_tx_queues + 1) * 4);
+
+    if (cfg.flow_capacity > 0) {
+        flows_ = std::make_unique<FlowDirectory>(FlowDirectoryConfig{
+            .flow_capacity = cfg.flow_capacity,
+            .shards = cfg.flow_shards,
+            .tenants = cfg.flow_tenants,
+            .sketch_enabled = cfg.flow_sketch});
+        flows_->attach_budget(budget_);
+    }
+}
+
+/** Datapath flow accounting: learn flows from the traffic itself.
+ *  The flow key folds the steering context (flow_tag / completion
+ *  key) with a per-direction salt so TX and RX flows stay distinct;
+ *  the tenant is the context id, as FLD-E tags are the multi-tenancy
+ *  handle (§5.4). */
+void
+FlexDriver::note_flow(uint64_t key, uint32_t tenant_hint,
+                      uint32_t bytes)
+{
+    if (!flows_)
+        return;
+    flows_->record_auto(key, uint16_t(tenant_hint % cfg_.flow_tenants),
+                        bytes);
 }
 
 uint64_t
@@ -206,6 +230,7 @@ FlexDriver::tx(uint32_t q, StreamPacket&& pkt)
     txq.pi++;
     stats_.tx_packets++;
     stats_.tx_bytes += len;
+    note_flow(uint64_t(d.flow_tag) << 16 | q, d.flow_tag, len);
 
     issue_tx_doorbell(q);
     return true;
@@ -567,6 +592,9 @@ FlexDriver::handle_rx_cqe(const nic::Cqe& cqe)
 
     stats_.rx_packets++;
     stats_.rx_bytes += pkt.size();
+    note_flow((1ull << 63) | uint64_t(cqe.flow_tag) << 32 |
+                  cqe.rss_hash,
+              cqe.flow_tag, uint32_t(pkt.size()));
 
     if (rx_handler_) {
         eq_.schedule_in(read_processing_ps(),

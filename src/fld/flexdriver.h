@@ -28,6 +28,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -35,6 +36,7 @@
 #include "fld/axi.h"
 #include "fld/buffer_pool.h"
 #include "fld/cuckoo.h"
+#include "fld/flow_directory.h"
 #include "fld/mem_budget.h"
 #include "nic/descriptors.h"
 #include "pcie/fabric.h"
@@ -59,6 +61,13 @@ struct FldConfig
     bool wqe_by_mmio = true;          ///< inline lone WQEs in doorbells
     double clock_mhz = 250.0;         ///< FPGA clock (§6, Table 5)
     uint32_t pipeline_cycles = 50;    ///< packet-processing latency (250 MHz FPGA)
+    /** Flow-directory control plane (0 = disabled, the prototype
+     *  default: flow state is the runtime's business unless the
+     *  deployment asks FLD to track it on-die). */
+    uint64_t flow_capacity = 0;
+    uint32_t flow_shards = 0;   ///< 0 = auto (see FlowDirectoryConfig)
+    uint32_t flow_tenants = 64;
+    bool flow_sketch = true;    ///< heavy-hitter telemetry
 };
 
 /** Errors FLD reports to the control plane (§5.3, error handling). */
@@ -163,6 +172,8 @@ class FlexDriver : public pcie::PcieEndpoint
     const FldConfig& config() const { return cfg_; }
     const MemBudget& mem_budget() const { return budget_; }
     const CuckooTable& tx_xlt() const { return tx_xlt_; }
+    /** On-die flow directory; null unless cfg.flow_capacity > 0. */
+    const FlowDirectory* flow_directory() const { return flows_.get(); }
 
     // -- PcieEndpoint --
     void bar_write(uint64_t addr, const uint8_t* data,
@@ -237,11 +248,14 @@ class FlexDriver : public pcie::PcieEndpoint
     uint64_t rx_sram_alloc_ = 0;
     std::map<uint32_t, RxBinding> rx_; ///< by completion key
 
+    void note_flow(uint64_t key, uint32_t tenant_hint, uint32_t bytes);
+
     StreamRxHandler rx_handler_;
     CreditHandler credit_handler_;
     ErrorHandler errors_;
     FldStats stats_;
     MemBudget budget_;
+    std::unique_ptr<FlowDirectory> flows_;
 };
 
 } // namespace fld::core

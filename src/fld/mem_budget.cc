@@ -1,5 +1,7 @@
 #include "fld/mem_budget.h"
 
+#include "util/logging.h"
+
 namespace fld::core {
 
 void
@@ -12,6 +14,64 @@ MemBudget::add(const std::string& category, uint64_t bytes)
         }
     }
     items_.emplace_back(category, bytes);
+}
+
+bool
+MemBudget::sub(const std::string& category, uint64_t bytes)
+{
+    for (auto& [name, total] : items_) {
+        if (name != category)
+            continue;
+        if (bytes > total) {
+            FLD_WARN("fld",
+                     "MemBudget: releasing %llu B from '%s' which "
+                     "holds only %llu B",
+                     (unsigned long long)bytes, category.c_str(),
+                     (unsigned long long)total);
+            total = 0;
+            ++underflows_;
+            return false;
+        }
+        total -= bytes;
+        return true;
+    }
+    FLD_WARN("fld", "MemBudget: release from unknown category '%s'",
+             category.c_str());
+    ++underflows_;
+    return false;
+}
+
+MemBudget::~MemBudget()
+{
+    // Detach handles that outlive this budget so their destructors
+    // (and explicit release() calls) become no-ops.
+    for (Scoped* s : live_scoped_) {
+        s->budget_ = nullptr;
+        s->bytes_ = 0;
+    }
+}
+
+void
+MemBudget::unenroll(Scoped* s)
+{
+    for (size_t i = 0; i < live_scoped_.size(); ++i) {
+        if (live_scoped_[i] == s) {
+            live_scoped_[i] = live_scoped_.back();
+            live_scoped_.pop_back();
+            return;
+        }
+    }
+}
+
+void
+MemBudget::reenroll(Scoped* from, Scoped* to)
+{
+    for (Scoped*& s : live_scoped_) {
+        if (s == from) {
+            s = to;
+            return;
+        }
+    }
 }
 
 uint64_t

@@ -6,6 +6,12 @@
  * can assert the design stays within the prototype FPGA's capacity
  * (XCKU15P: ~10.05 MiB of BRAM+URAM, §4.3) and benches can print the
  * Table 3 breakdown from the *actual* instantiated configuration.
+ *
+ * Registration is symmetric: add() when a structure is instantiated
+ * (or a flow opens), sub() when it is torn down (or the flow closes),
+ * so a budget tracked under churn reflects the *resident* state, not
+ * a high-water mark. Scoped wraps an add/sub pair in RAII for
+ * structures with block lifetime.
  */
 #ifndef FLD_FLD_MEM_BUDGET_H
 #define FLD_FLD_MEM_BUDGET_H
@@ -26,8 +32,19 @@ class MemBudget
     /** Register @p bytes under @p category (accumulates). */
     void add(const std::string& category, uint64_t bytes);
 
+    /**
+     * Release @p bytes from @p category. Returns false (and guards:
+     * clamps the category at zero, bumps underflows()) when the
+     * category is unknown or holds fewer than @p bytes — releasing
+     * more than was registered is an accounting bug, never a crash.
+     */
+    bool sub(const std::string& category, uint64_t bytes);
+
     uint64_t total() const;
     uint64_t of(const std::string& category) const;
+
+    /** Release attempts that exceeded the registered amount. */
+    uint64_t underflows() const { return underflows_; }
 
     /** (category, bytes) in registration order. */
     const std::vector<std::pair<std::string, uint64_t>>& items() const
@@ -37,8 +54,98 @@ class MemBudget
 
     bool fits_on_chip() const { return total() <= kXcku15pBytes; }
 
+    MemBudget() = default;
+    /** Live Scoped handles point into this object, so it is pinned. */
+    MemBudget(const MemBudget&) = delete;
+    MemBudget& operator=(const MemBudget&) = delete;
+    ~MemBudget();
+
+    /**
+     * RAII registration: add() on construction, sub() on destruction.
+     * Move-only, so a structure can hold one per budget category and
+     * its teardown releases the bytes automatically.
+     *
+     * Lifetimes may end in either order: the budget enrolls every live
+     * Scoped and detaches them when it is destroyed first, so a Scoped
+     * outliving its budget destructs as a no-op instead of releasing
+     * into freed memory (declaration order between a budget and the
+     * structures registered in it is not a correctness concern).
+     */
+    class Scoped
+    {
+      public:
+        Scoped() = default;
+        Scoped(MemBudget& budget, std::string category, uint64_t bytes)
+            : budget_(&budget), category_(std::move(category)),
+              bytes_(bytes)
+        {
+            budget_->add(category_, bytes_);
+            budget_->enroll(this);
+        }
+        ~Scoped() { release(); }
+
+        Scoped(Scoped&& o) noexcept
+            : budget_(o.budget_), category_(std::move(o.category_)),
+              bytes_(o.bytes_)
+        {
+            o.budget_ = nullptr;
+            o.bytes_ = 0;
+            if (budget_)
+                budget_->reenroll(&o, this);
+        }
+        Scoped& operator=(Scoped&& o) noexcept
+        {
+            if (this != &o) {
+                release();
+                budget_ = o.budget_;
+                category_ = std::move(o.category_);
+                bytes_ = o.bytes_;
+                o.budget_ = nullptr;
+                o.bytes_ = 0;
+                if (budget_)
+                    budget_->reenroll(&o, this);
+            }
+            return *this;
+        }
+        Scoped(const Scoped&) = delete;
+        Scoped& operator=(const Scoped&) = delete;
+
+        uint64_t bytes() const { return bytes_; }
+        const std::string& category() const { return category_; }
+
+        /** Early release (idempotent). */
+        void release()
+        {
+            if (budget_) {
+                if (bytes_)
+                    budget_->sub(category_, bytes_);
+                budget_->unenroll(this);
+            }
+            budget_ = nullptr;
+            bytes_ = 0;
+        }
+
+      private:
+        friend class MemBudget;
+        MemBudget* budget_ = nullptr;
+        std::string category_;
+        uint64_t bytes_ = 0;
+    };
+
+    /** Convenience: make a Scoped registration against this budget. */
+    Scoped scoped(std::string category, uint64_t bytes)
+    {
+        return Scoped(*this, std::move(category), bytes);
+    }
+
   private:
+    void enroll(Scoped* s) { live_scoped_.push_back(s); }
+    void unenroll(Scoped* s);
+    void reenroll(Scoped* from, Scoped* to);
+
     std::vector<std::pair<std::string, uint64_t>> items_;
+    std::vector<Scoped*> live_scoped_;
+    uint64_t underflows_ = 0;
 };
 
 } // namespace fld::core

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Bounded-memory heavy-hitter flow telemetry: a count-min sketch with
+ * a small exact top-k table.
+ *
+ * Production NICs want per-flow byte telemetry for millions of flows,
+ * but exact counters would blow the on-die SRAM budget the paper
+ * fights for (Table 3). Following the FPGA sketch-acceleration line
+ * of work (PAPERS.md), the sketch trades a bounded overestimate for a
+ * fixed footprint: depth hash rows of width saturating counters
+ * (count-min: estimates never underestimate, overestimate bounded by
+ * 2*total/width with probability 1-2^-depth) plus a k-entry candidate
+ * table that tracks the current heavy hitters exactly enough to
+ * report them.
+ *
+ * Everything is deterministic: row hashes derive from an explicit
+ * seed, so the same update stream always produces bit-identical
+ * sketch state (state_hash() pins this in tests).
+ */
+#ifndef FLD_FLD_SKETCH_H
+#define FLD_FLD_SKETCH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fld::core {
+
+struct SketchConfig
+{
+    uint32_t width = 4096; ///< counters per row (power of two)
+    uint32_t depth = 4;    ///< independent hash rows
+    uint32_t topk = 32;    ///< exact heavy-hitter candidate entries
+    uint64_t seed = 0x5bd1e995;
+};
+
+class HeavyHitterSketch
+{
+  public:
+    struct TopEntry
+    {
+        uint64_t key = 0;
+        uint64_t estimate = 0; ///< count-min estimate when last touched
+    };
+
+    explicit HeavyHitterSketch(SketchConfig cfg = {});
+
+    /** Account @p weight (bytes or packets) to @p key. O(depth + k
+     *  only when the key is a heavy-hitter candidate). */
+    void update(uint64_t key, uint64_t weight);
+
+    /** Count-min point query: never underestimates the true total. */
+    uint64_t estimate(uint64_t key) const;
+
+    /** Current heavy-hitter candidates, heaviest first. */
+    std::vector<TopEntry> top() const;
+
+    /** Sum of all weights ever accounted. */
+    uint64_t total_weight() const { return total_weight_; }
+    uint64_t updates() const { return updates_; }
+
+    void clear();
+
+    /**
+     * On-die bytes: width x depth counters at 4 B each (32-bit
+     * saturating in hardware) plus top-k entries at 16 B (8 B key +
+     * 8 B running estimate). Mirrored by
+     * model::flow_directory_memory().
+     */
+    size_t memory_bytes() const;
+
+    /** FNV over rows + top-k: bit-identical state <=> equal hash. */
+    uint64_t state_hash() const;
+
+    const SketchConfig& config() const { return cfg_; }
+
+  private:
+    size_t cell(uint32_t row, uint64_t key) const;
+    void offer_candidate(uint64_t key, uint64_t est);
+
+    SketchConfig cfg_;
+    std::vector<uint32_t> rows_; ///< depth x width, row-major
+    std::vector<TopEntry> top_;  ///< unordered candidate table
+    uint64_t top_min_ = 0;       ///< smallest estimate in top_ (cached)
+    uint64_t total_weight_ = 0;
+    uint64_t updates_ = 0;
+};
+
+} // namespace fld::core
+
+#endif // FLD_FLD_SKETCH_H

@@ -72,4 +72,28 @@ fld_memory(const MemoryParams& p)
     return m;
 }
 
+FlowScaleBreakdown
+flow_directory_memory(const FlowScaleParams& p)
+{
+    FlowScaleBreakdown m;
+    double shard_cap = double(p.shard_capacity);
+    if (shard_cap <= 0 && p.shards > 0)
+        shard_cap = std::ceil(double(p.flow_capacity) / p.shards);
+
+    // Load factor 1/2: 2x capacity slots at 4 B packed, plus the
+    // displacement stash (8 B entries, as in CuckooTable).
+    m.cuckoo = double(p.shards) *
+               (2.0 * shard_cap * 4.0 + double(p.cuckoo_stash) * 8.0);
+    m.flow_state =
+        double(p.shards) * shard_cap * double(kFlowStateBytes);
+    m.tenant_stats = double(p.tenants) * double(kTenantStateBytes);
+    if (p.sketch_width > 0) {
+        m.sketch = double(p.sketch_depth) * double(p.sketch_width) *
+                       4.0 +
+                   double(p.sketch_topk) * 16.0;
+    }
+    m.total = m.cuckoo + m.flow_state + m.tenant_stats + m.sketch;
+    return m;
+}
+
 } // namespace fld::model

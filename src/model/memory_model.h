@@ -69,6 +69,60 @@ MemoryBreakdown software_memory(const MemoryParams& p);
  */
 MemoryBreakdown fld_memory(const MemoryParams& p);
 
+// ---------------------------------------------------------------------
+// Flow-scale extension: predicted on-die cost of the sharded flow
+// directory (cuckoo flow translation + packed flow state + per-tenant
+// stats + heavy-hitter sketch) at a given flow-table size. The
+// simulated FLD registers what it actually instantiates in its
+// MemBudget; conformance tests and bench_flow_scale reconcile the two
+// and fail when they diverge beyond a tolerance.
+// ---------------------------------------------------------------------
+
+/** Packed hardware bytes per flow-state record: 8 B key tag + 2 B
+ *  tenant + 6 B packet counter + 8 B byte counter. Must agree with
+ *  fld::core::FlowDirectory's accounting. */
+constexpr uint32_t kFlowStateBytes = 24;
+
+/** Packed hardware bytes per tenant-stats record (four counters). */
+constexpr uint32_t kTenantStateBytes = 32;
+
+/**
+ * Resolved flow-directory geometry. All fields are explicit: the
+ * facade resolves its auto-sizing rules (shard count, sketch width)
+ * first and hands the result here, so the model never duplicates
+ * policy — it only prices geometry.
+ */
+struct FlowScaleParams
+{
+    uint64_t flow_capacity = 4096; ///< max concurrent flows
+    uint32_t shards = 1;           ///< independent cuckoo shards
+    uint64_t shard_capacity = 0;   ///< per-shard entries (incl. slack)
+    uint32_t tenants = 64;
+    uint32_t cuckoo_banks = 4;     ///< paper §5.2 geometry
+    uint32_t cuckoo_stash = 4;
+    uint32_t sketch_width = 0;     ///< 0 = sketch disabled
+    uint32_t sketch_depth = 4;
+    uint32_t sketch_topk = 32;
+};
+
+/** One Table-3-style column for the flow directory (bytes). */
+struct FlowScaleBreakdown
+{
+    double cuckoo = 0;       ///< sharded flow-translation tables
+    double flow_state = 0;   ///< packed per-flow records
+    double tenant_stats = 0; ///< per-tenant counters
+    double sketch = 0;       ///< count-min rows + top-k table
+    double total = 0;
+};
+
+/**
+ * Predicted flow-directory memory: per shard, a load-factor-1/2
+ * cuckoo table (2 x shard_capacity slots of 4 B + an 8 B/entry
+ * stash) plus shard_capacity packed flow records; kTenantStateBytes
+ * per tenant; and the sketch's counters + candidate table.
+ */
+FlowScaleBreakdown flow_directory_memory(const FlowScaleParams& p);
+
 } // namespace fld::model
 
 #endif // FLD_MODEL_MEMORY_MODEL_H

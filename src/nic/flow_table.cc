@@ -190,6 +190,21 @@ FlowTables::bump_counter(uint32_t counter_id, uint64_t bytes)
     counters_[counter_id] += bytes;
 }
 
+void
+FlowTables::note_tag(uint32_t tag, uint64_t bytes)
+{
+    TagStats& ts = tag_stats_[tag];
+    ts.packets++;
+    ts.bytes += bytes;
+}
+
+FlowTables::TagStats
+FlowTables::tag_stats(uint32_t tag) const
+{
+    auto it = tag_stats_.find(tag);
+    return it == tag_stats_.end() ? TagStats{} : it->second;
+}
+
 size_t
 FlowTables::rule_count() const
 {

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "net/headers.h"
@@ -123,9 +124,26 @@ class FlowTables
     /** Highest-priority matching rule in @p table, or null. */
     FlowRule* lookup(uint32_t table, const FlowFields& fields);
 
-    /** Rule hit counters (Count actions accumulate here too). */
+    /** Rule hit counters (Count actions accumulate here too). O(1):
+     *  steering counters are bumped per packet at line rate. */
     uint64_t counter(uint32_t counter_id) const;
     void bump_counter(uint32_t counter_id, uint64_t bytes);
+
+    /** Per-tag steering stats, bumped whenever a SetTag action fires
+     *  (tags are the eSwitch's tenant/context handles, so this is the
+     *  per-tenant view of the steering pipeline). */
+    struct TagStats
+    {
+        uint64_t packets = 0;
+        uint64_t bytes = 0;
+    };
+    void note_tag(uint32_t tag, uint64_t bytes);
+    /** Stats for @p tag (zeroes when the tag was never set). */
+    TagStats tag_stats(uint32_t tag) const;
+    const std::unordered_map<uint32_t, TagStats>& tags() const
+    {
+        return tag_stats_;
+    }
 
     size_t rule_count() const;
 
@@ -133,7 +151,8 @@ class FlowTables
     static bool matches(const FlowMatch& m, const FlowFields& f);
 
     std::map<uint32_t, std::vector<FlowRule>> tables_;
-    std::map<uint32_t, uint64_t> counters_;
+    std::unordered_map<uint32_t, uint64_t> counters_;
+    std::unordered_map<uint32_t, TagStats> tag_stats_;
     uint64_t next_id_ = 1;
 };
 

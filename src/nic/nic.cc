@@ -470,6 +470,7 @@ NicDevice::run_pipeline(net::Packet&& pkt, VportId in_vport,
               case ActionType::SetTag:
                 pkt.meta.flow_tag = act.arg0;
                 fields.flow_tag = act.arg0;
+                flows_.note_tag(act.arg0, pkt.size());
                 break;
               case ActionType::Count:
                 flows_.bump_counter(act.arg0, pkt.size());

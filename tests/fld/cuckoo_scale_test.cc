@@ -1,0 +1,183 @@
+/**
+ * @file
+ * CuckooTable at scale: property tests against a std::unordered_map
+ * oracle with 100k+ entries, plus near-capacity and eviction-heavy
+ * edge cases that small unit tests cannot reach.
+ */
+#include "fld/cuckoo.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fld::core {
+namespace {
+
+TEST(CuckooScale, RandomOpsMatchOracleAt128k)
+{
+    constexpr size_t kCapacity = 128 * 1024;
+    CuckooTable table(kCapacity);
+    std::unordered_map<uint64_t, uint32_t> oracle;
+    std::vector<uint64_t> keys; // insertion-ordered live keys
+    fld::Rng rng(0xc0c0);
+
+    for (int op = 0; op < 400000; ++op) {
+        uint32_t dice = uint32_t(rng.uniform(10));
+        if (keys.empty() || (dice < 5 && oracle.size() < kCapacity)) {
+            uint64_t k = rng.next();
+            if (oracle.count(k))
+                continue;
+            uint32_t v = uint32_t(rng.next());
+            if (table.insert(k, v)) {
+                oracle.emplace(k, v);
+                keys.push_back(k);
+            } else {
+                // A stall must leave the table unchanged.
+                EXPECT_FALSE(table.lookup(k));
+            }
+        } else if (dice < 7) {
+            size_t i = rng.uniform(keys.size());
+            EXPECT_TRUE(table.erase(keys[i]));
+            oracle.erase(keys[i]);
+            keys[i] = keys.back();
+            keys.pop_back();
+        } else if (dice < 9) {
+            size_t i = rng.uniform(keys.size());
+            auto got = table.lookup(keys[i]);
+            ASSERT_TRUE(got);
+            EXPECT_EQ(*got, oracle.at(keys[i]));
+        } else {
+            // Probe an absent key.
+            uint64_t k = rng.next();
+            if (!oracle.count(k)) {
+                EXPECT_FALSE(table.lookup(k));
+                EXPECT_FALSE(table.erase(k));
+            }
+        }
+    }
+
+    // Full sweep: every oracle entry is still present and correct.
+    ASSERT_EQ(table.size(), oracle.size());
+    EXPECT_GT(oracle.size(), 50 * 1024u) << "mix did not scale up";
+    for (const auto& [k, v] : oracle) {
+        auto got = table.lookup(k);
+        ASSERT_TRUE(got) << "lost key " << k;
+        EXPECT_EQ(*got, v);
+    }
+}
+
+TEST(CuckooScale, FillsToNominalCapacityAt128k)
+{
+    // Load factor 1/2 guarantees convergence all the way to the
+    // nominal capacity, modulo the rare stash stall (absorbed by
+    // retrying with the next key, as hardware back-pressure would).
+    constexpr size_t kCapacity = 128 * 1024;
+    CuckooTable table(kCapacity);
+    std::unordered_map<uint64_t, uint32_t> oracle;
+    fld::Rng rng(0xf111);
+    uint64_t stalls = 0;
+    while (table.size() < kCapacity) {
+        uint64_t k = rng.next();
+        if (oracle.count(k))
+            continue;
+        uint32_t v = uint32_t(table.size());
+        if (table.insert(k, v))
+            oracle.emplace(k, v);
+        else if (++stalls > 64)
+            FAIL() << "excessive stalls at size " << table.size();
+    }
+    EXPECT_TRUE(table.full());
+    for (const auto& [k, v] : oracle)
+        EXPECT_EQ(table.lookup(k).value_or(UINT32_MAX), v);
+    // At load factor 1/2 displacement work stays modest: the paper's
+    // design point keeps eviction chains short.
+    EXPECT_LT(table.stats().displacements, 4 * table.stats().inserts);
+}
+
+TEST(CuckooScale, NearCapacityChurnDoesNotDegrade)
+{
+    constexpr size_t kCapacity = 64 * 1024;
+    CuckooTable table(kCapacity);
+    std::unordered_map<uint64_t, uint32_t> oracle;
+    std::vector<uint64_t> keys;
+    fld::Rng rng(0xabcd);
+
+    // Fill to 95%...
+    while (table.size() < kCapacity * 95 / 100) {
+        uint64_t k = rng.next();
+        if (oracle.count(k))
+            continue;
+        uint32_t v = uint32_t(rng.next());
+        if (table.insert(k, v)) {
+            oracle.emplace(k, v);
+            keys.push_back(k);
+        }
+    }
+    // ...then churn at that load: erase one, insert one, 50k times.
+    for (int i = 0; i < 50000; ++i) {
+        size_t victim = rng.uniform(keys.size());
+        ASSERT_TRUE(table.erase(keys[victim]));
+        oracle.erase(keys[victim]);
+        keys[victim] = keys.back();
+        keys.pop_back();
+
+        for (;;) {
+            uint64_t k = rng.next();
+            if (oracle.count(k))
+                continue;
+            uint32_t v = uint32_t(rng.next());
+            if (!table.insert(k, v))
+                continue; // stash stall: retry like hardware would
+            oracle.emplace(k, v);
+            keys.push_back(k);
+            break;
+        }
+    }
+    ASSERT_EQ(table.size(), oracle.size());
+    for (const auto& [k, v] : oracle)
+        EXPECT_EQ(table.lookup(k).value_or(UINT32_MAX), v);
+}
+
+TEST(CuckooScale, TinyTableStallsRecoverAfterErase)
+{
+    // Small table + tiny stash forces the eviction edge cases:
+    // rejected inserts must leave state intact and succeed after a
+    // slot frees up.
+    CuckooTable table(16, /*banks=*/2, /*stash_size=*/1, /*seed=*/7);
+    std::unordered_map<uint64_t, uint32_t> oracle;
+    fld::Rng rng(0x7777);
+    std::vector<uint64_t> rejected;
+
+    for (uint64_t k = 1; oracle.size() < 16; ++k) {
+        if (table.insert(k, uint32_t(k)))
+            oracle.emplace(k, uint32_t(k));
+        else
+            rejected.push_back(k);
+    }
+    for (uint64_t k : rejected) {
+        EXPECT_FALSE(table.lookup(k));
+        // Free a slot, then the rejected key must go in.
+        uint64_t victim = oracle.begin()->first;
+        ASSERT_TRUE(table.erase(victim));
+        oracle.erase(victim);
+        ASSERT_TRUE(table.insert(k, uint32_t(k)));
+        oracle.emplace(k, uint32_t(k));
+    }
+    for (const auto& [k, v] : oracle)
+        EXPECT_EQ(table.lookup(k).value_or(UINT32_MAX), v);
+}
+
+TEST(CuckooScale, MemoryScalesLinearlyWithCapacity)
+{
+    CuckooTable small(1024), big(128 * 1024);
+    // Same stash, so the table part scales exactly 128x.
+    size_t stash_bytes = 4 * 8;
+    EXPECT_EQ(big.memory_bytes() - stash_bytes,
+              (small.memory_bytes() - stash_bytes) * 128);
+}
+
+} // namespace
+} // namespace fld::core

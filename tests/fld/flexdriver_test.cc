@@ -389,5 +389,55 @@ TEST(FlexDriverRx, MiniCqeCompressionDeliversAll)
     EXPECT_GE(fld.stats().cqes, uint64_t(n));
 }
 
+TEST(FlexDriverFlows, DirectoryLearnsDatapathFlows)
+{
+    FldConfig cfg;
+    cfg.flow_capacity = 1024;
+    cfg.flow_tenants = 16;
+    FldTestbed tb(cfg);
+    ASSERT_NE(tb.fld->flow_directory(), nullptr);
+
+    const int n = 20;
+    size_t tx_bytes = 0;
+    for (int i = 0; i < n; ++i) {
+        StreamPacket pkt;
+        pkt.data = tb.make_frame(200 + i).data;
+        pkt.meta.context_id = 3; // one TX flow, tenant 3
+        tx_bytes += pkt.data.size();
+        ASSERT_TRUE(tb.fld->tx(0, std::move(pkt)));
+        tb.eq.run();
+    }
+
+    const FlowDirectory& dir = *tb.fld->flow_directory();
+    EXPECT_EQ(dir.size(), 1u) << "one (context, queue) TX flow";
+    EXPECT_EQ(dir.stats().auto_opens, 1u);
+    EXPECT_EQ(dir.stats().packets, uint64_t(n));
+    EXPECT_EQ(dir.tenant(3).packets, uint64_t(n));
+    EXPECT_EQ(dir.tenant(3).bytes, tx_bytes);
+
+    // Flow-directory SRAM shows up in the driver's memory budget and
+    // still reconciles with the analytical model.
+    EXPECT_GT(tb.fld->mem_budget().of("flow state pool (24 B/flow)"),
+              0u);
+    EXPECT_EQ(dir.reconcile_with_model(0.05), "");
+
+    // The heavy-hitter sketch saw the same traffic.
+    ASSERT_NE(dir.sketch(), nullptr);
+    EXPECT_GE(dir.sketch()->total_weight(), tx_bytes);
+}
+
+TEST(FlexDriverFlows, DisabledByDefaultCostsNothing)
+{
+    FldTestbed tb;
+    EXPECT_EQ(tb.fld->flow_directory(), nullptr);
+    EXPECT_EQ(tb.fld->mem_budget().of("flow state pool (24 B/flow)"),
+              0u);
+    StreamPacket pkt;
+    pkt.data = tb.make_frame(100).data;
+    ASSERT_TRUE(tb.fld->tx(0, std::move(pkt)));
+    tb.eq.run();
+    ASSERT_EQ(tb.wire.size(), 1u);
+}
+
 } // namespace
 } // namespace fld::core

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * MemBudget accounting tests: symmetric add/sub under churn, the
+ * underflow guard (release must never wrap a category negative), and
+ * RAII scoped registrations.
+ */
+#include "fld/mem_budget.h"
+
+#include <gtest/gtest.h>
+
+namespace fld::core {
+namespace {
+
+TEST(MemBudget, AddAccumulatesPerCategory)
+{
+    MemBudget b;
+    b.add("cuckoo", 1024);
+    b.add("cuckoo", 512);
+    b.add("sketch", 2048);
+    EXPECT_EQ(b.of("cuckoo"), 1536u);
+    EXPECT_EQ(b.of("sketch"), 2048u);
+    EXPECT_EQ(b.of("absent"), 0u);
+    EXPECT_EQ(b.total(), 3584u);
+}
+
+TEST(MemBudget, SubReflectsChurn)
+{
+    // Open/close cycles must leave the resident total where it
+    // started — the budget is a live gauge, not a high-water mark.
+    MemBudget b;
+    b.add("flow state", 0);
+    for (int cycle = 0; cycle < 100; ++cycle) {
+        for (int f = 0; f < 64; ++f)
+            b.add("flow state", 24);
+        EXPECT_EQ(b.of("flow state"), 64u * 24u);
+        for (int f = 0; f < 64; ++f)
+            EXPECT_TRUE(b.sub("flow state", 24));
+        EXPECT_EQ(b.of("flow state"), 0u);
+    }
+    EXPECT_EQ(b.underflows(), 0u);
+}
+
+TEST(MemBudget, SubUnderflowIsGuarded)
+{
+    MemBudget b;
+    b.add("pool", 100);
+    // Releasing more than registered clamps at zero and is reported,
+    // never wraps.
+    EXPECT_FALSE(b.sub("pool", 101));
+    EXPECT_EQ(b.of("pool"), 0u);
+    EXPECT_EQ(b.underflows(), 1u);
+    EXPECT_EQ(b.total(), 0u);
+
+    // Releasing from a category that was never registered is the
+    // same class of bug.
+    EXPECT_FALSE(b.sub("never registered", 1));
+    EXPECT_EQ(b.underflows(), 2u);
+
+    // The budget stays usable afterwards.
+    b.add("pool", 50);
+    EXPECT_TRUE(b.sub("pool", 50));
+    EXPECT_EQ(b.underflows(), 2u);
+}
+
+TEST(MemBudget, ScopedReleasesOnDestruction)
+{
+    MemBudget b;
+    {
+        MemBudget::Scoped s = b.scoped("table", 4096);
+        EXPECT_EQ(b.of("table"), 4096u);
+        EXPECT_EQ(s.bytes(), 4096u);
+    }
+    EXPECT_EQ(b.of("table"), 0u);
+    EXPECT_EQ(b.underflows(), 0u);
+}
+
+TEST(MemBudget, ScopedMoveTransfersOwnership)
+{
+    MemBudget b;
+    MemBudget::Scoped outer;
+    {
+        MemBudget::Scoped inner = b.scoped("table", 256);
+        outer = std::move(inner);
+        // inner's destructor must not double-release.
+    }
+    EXPECT_EQ(b.of("table"), 256u);
+    outer.release();
+    EXPECT_EQ(b.of("table"), 0u);
+    // release() is idempotent.
+    outer.release();
+    EXPECT_EQ(b.underflows(), 0u);
+}
+
+TEST(MemBudget, ScopedMoveAssignReleasesPrevious)
+{
+    MemBudget b;
+    MemBudget::Scoped s = b.scoped("a", 10);
+    s = b.scoped("b", 20);
+    EXPECT_EQ(b.of("a"), 0u);
+    EXPECT_EQ(b.of("b"), 20u);
+}
+
+TEST(MemBudget, ScopedSurvivesBudgetDestroyedFirst)
+{
+    // Lifetimes may end in either order: a structure holding Scoped
+    // registrations can legitimately be declared before the budget it
+    // attaches to (locals destroy in reverse order, so the budget dies
+    // first). The budget detaches its live handles on destruction;
+    // the orphaned Scoped must destruct — and release() — as a no-op.
+    // ASan caught the use-after-free this pins.
+    MemBudget::Scoped orphan_a, orphan_b;
+    {
+        MemBudget b;
+        orphan_a = b.scoped("table", 4096);
+        orphan_b = b.scoped("sketch", 128);
+        orphan_a.release(); // released handles must not be re-detached
+        EXPECT_EQ(b.of("sketch"), 128u);
+    }
+    EXPECT_EQ(orphan_b.bytes(), 0u);
+    orphan_b.release(); // no-op, no crash
+}
+
+TEST(MemBudget, ScopedMovedThenBudgetDestroyed)
+{
+    // Moving a Scoped re-points the budget's enrollment at the new
+    // handle; destroying the budget afterwards must detach the moved-
+    // to handle, not the dead moved-from shell.
+    MemBudget::Scoped outer;
+    {
+        MemBudget b;
+        MemBudget::Scoped inner = b.scoped("table", 64);
+        outer = std::move(inner);
+    }
+    outer.release(); // no-op, no crash
+    EXPECT_EQ(outer.bytes(), 0u);
+}
+
+TEST(MemBudget, FitsOnChipThreshold)
+{
+    MemBudget b;
+    b.add("big", kXcku15pBytes);
+    EXPECT_TRUE(b.fits_on_chip());
+    b.add("big", 1);
+    EXPECT_FALSE(b.fits_on_chip());
+    EXPECT_TRUE(b.sub("big", 1));
+    EXPECT_TRUE(b.fits_on_chip());
+}
+
+} // namespace
+} // namespace fld::core

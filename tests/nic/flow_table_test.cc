@@ -345,6 +345,37 @@ TEST(VxlanSteering, PipelineEncapHairpinProducesValidOuter)
     }
 }
 
+TEST(FlowTables, TagStatsTrackPerTenantSteering)
+{
+    FlowTables t;
+    net::Packet pkt = udp_packet(1, 2, 3, 4);
+    EXPECT_EQ(t.tag_stats(5).packets, 0u);
+
+    // note_tag is what the eSwitch calls when a SetTag action fires.
+    t.note_tag(5, pkt.size());
+    t.note_tag(5, pkt.size());
+    t.note_tag(9, 100);
+
+    EXPECT_EQ(t.tag_stats(5).packets, 2u);
+    EXPECT_EQ(t.tag_stats(5).bytes, 2 * pkt.size());
+    EXPECT_EQ(t.tag_stats(9).packets, 1u);
+    EXPECT_EQ(t.tag_stats(9).bytes, 100u);
+    EXPECT_EQ(t.tags().size(), 2u);
+    EXPECT_EQ(t.tag_stats(7).packets, 0u) << "unseen tag reads zero";
+}
+
+TEST(FlowTables, CountersScaleWithManyIds)
+{
+    // Steering counters are per-packet hot path: exercise a large id
+    // space the way a many-tenant deployment would.
+    FlowTables t;
+    for (uint32_t id = 0; id < 50000; ++id)
+        t.bump_counter(id, id);
+    for (uint32_t id : {0u, 1u, 777u, 49999u})
+        EXPECT_EQ(t.counter(id), id);
+    EXPECT_EQ(t.counter(50000), 0u);
+}
+
 TEST(FlowActions, ConstructorsEncodeArgs)
 {
     Action a = send_to_accel(7, 42);

@@ -11,7 +11,13 @@
  * Usage:
  *   fld_fuzz [--seeds=N] [--seed0=S] [--budget=120s] [--jobs=N]
  *            [--replay=SEED] [--artifacts=DIR] [--no-trace]
+ *            [--churn=N]
  *
+ *   --churn=N       control-plane mode: N seeds of randomized
+ *                   many-tenant churn scenarios (sim::ChurnGen)
+ *                   through the ChurnHarness oracles (shadow map,
+ *                   stat conservation, budget/model reconciliation,
+ *                   fault rejection) instead of datapath scenarios
  *   --seeds=N       run N consecutive seeds (default 100)
  *   --seed0=S       first seed (default 1)
  *   --budget=T      stop after T wall-clock seconds (e.g. 120s);
@@ -32,10 +38,12 @@
 #include <fstream>
 #include <string>
 
+#include "apps/churn_harness.h"
 #include "apps/fuzz_runner.h"
 #include "apps/fuzz_sweep.h"
 #include "bench/bench_util.h"
 #include "sim/fuzz.h"
+#include "util/rng.h"
 #include "util/strings.h"
 
 using namespace fld;
@@ -52,6 +60,7 @@ struct CliOptions
     uint64_t replay_seed = 0;
     std::string artifacts = ".";
     bool trace = true;
+    uint64_t churn = 0; ///< >0: churn mode, N seeds
 };
 
 bool
@@ -76,6 +85,8 @@ parse_args(int argc, char** argv, CliOptions& o)
             o.replay_seed = std::strtoull(v, nullptr, 0);
         } else if (const char* v = val("--artifacts="))
             o.artifacts = v;
+        else if (const char* v = val("--churn="))
+            o.churn = std::strtoull(v, nullptr, 0);
         else if (a == "--no-trace")
             o.trace = false;
         else {
@@ -145,6 +156,75 @@ report_failure(const CliOptions& o, apps::FuzzRunner& runner,
     return 1;
 }
 
+/** One randomized churn scenario per seed: the geometry, fault mix
+ *  and traffic shape all derive from the seed, so a failing seed
+ *  replays exactly. */
+apps::ChurnHarnessConfig
+churn_scenario(uint64_t seed)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 0xc4);
+    apps::ChurnHarnessConfig cfg;
+    cfg.churn.tenants = uint32_t(rng.range(2, 300));
+    cfg.churn.flows_per_tenant = uint32_t(rng.range(1, 200));
+    cfg.churn.packet_fraction = 0.3 + 0.6 * rng.uniform_double();
+    cfg.churn.skew = rng.uniform_double() * 2.0;
+    cfg.churn.dup_open_prob = rng.chance(0.5) ? 0.02 : 0.0;
+    cfg.churn.stray_close_prob = rng.chance(0.5) ? 0.02 : 0.0;
+    cfg.churn.seed = seed;
+    if (rng.chance(0.3))
+        cfg.directory.sketch_enabled = false;
+    if (rng.chance(0.3)) {
+        cfg.tenant_rate_gbps = 0.5 + rng.uniform_double() * 5.0;
+        cfg.tenant_burst_bytes = 1 << rng.range(12, 16);
+    }
+    return cfg;
+}
+
+int
+run_churn_mode(const CliOptions& o)
+{
+    for (uint64_t i = 0; i < o.churn; ++i) {
+        uint64_t seed = o.seed0 + i;
+        apps::ChurnHarnessConfig cfg = churn_scenario(seed);
+        apps::ChurnHarness harness(cfg);
+        uint64_t events = 4 * harness.gen().target_population();
+        apps::ChurnReport rep = harness.run(events);
+        if (!rep.ok()) {
+            std::printf("\nCHURN FAILURE at seed %llu "
+                        "(%u tenants x %u flows, dup=%.2f stray=%.2f)"
+                        "\n",
+                        (unsigned long long)seed, cfg.churn.tenants,
+                        cfg.churn.flows_per_tenant,
+                        cfg.churn.dup_open_prob,
+                        cfg.churn.stray_close_prob);
+            std::string transcript;
+            for (const std::string& why : rep.violations) {
+                std::printf("  %s\n", why.c_str());
+                transcript += why + "\n";
+            }
+            write_file(o.artifacts + "/failing_seed.txt",
+                       std::to_string(seed) + "\n");
+            write_file(o.artifacts + "/transcript.txt", transcript);
+            std::printf("replay with: fld_fuzz --churn=1 --seed0="
+                        "%llu\n",
+                        (unsigned long long)seed);
+            return 1;
+        }
+        if ((i + 1) % 25 == 0 || i + 1 == o.churn)
+            std::printf("[%llu/%llu] churn seed %llu ok: %llu events,"
+                        " %zu live, hash %016llx\n",
+                        (unsigned long long)(i + 1),
+                        (unsigned long long)o.churn,
+                        (unsigned long long)seed,
+                        (unsigned long long)rep.events,
+                        rep.final_live,
+                        (unsigned long long)rep.state_hash);
+    }
+    std::printf("all %llu churn seeds clean\n",
+                (unsigned long long)o.churn);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -153,6 +233,9 @@ main(int argc, char** argv)
     CliOptions o;
     if (!parse_args(argc, argv, o))
         return 2;
+
+    if (o.churn > 0)
+        return run_churn_mode(o);
 
     sim::ScenarioFuzzer fuzzer;
     apps::FuzzRunner runner = make_runner(o);
