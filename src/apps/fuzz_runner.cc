@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "apps/fastpath_harness.h"
 #include "sim/trace.h"
 #include "util/strings.h"
 
@@ -54,6 +55,11 @@ FuzzRunDigest::to_string() const
            << "\n";
     os << "conservation: " << ledger.summary() << "\n";
     os << "faults: " << faults.summary() << "\n";
+    if (!violations.empty()) {
+        os << "harness_violations = " << violations.size() << "\n";
+        for (const std::string& v : violations)
+            os << "  " << v << "\n";
+    }
     os << "trace_violations = " << trace_violations.size() << "\n";
     os << "trace_hash = "
        << strfmt("%016llx", (unsigned long long)trace_hash) << "\n";
@@ -253,6 +259,50 @@ FuzzRunner::run_rdma(const sim::FuzzScenario& s)
     return d;
 }
 
+FuzzRunDigest
+FuzzRunner::run_conn(const sim::FuzzScenario& s, bool fld_mode)
+{
+    FuzzRunDigest d;
+    d.label = fld_mode ? "conn-fld" : "conn-cpu";
+
+    FastPathHarnessConfig cfg;
+    cfg.mode = fld_mode ? FastPathMode::Fld : FastPathMode::Cpu;
+    cfg.app.connections = std::max(1u, s.conn.connections);
+    cfg.app.requests_per_conn = std::max(1u, s.conn.requests);
+    cfg.app.request_bytes = std::max(1u, s.conn.request_bytes);
+    cfg.app.closed_loop = s.conn.closed_loop;
+    cfg.app.churn_cycles = s.conn.churn_cycles;
+    // Rings sized so the slowest drawn shape (48 conns sharing one
+    // app) backpressures through AppEmu's retry queue, not deadlock.
+    cfg.app.tx_ring_entries = 128;
+    cfg.app.rx_ring_entries = 512;
+    cfg.sink.rx_ring_entries = 512;
+    cfg.conn.rto =
+        sim::microseconds(double(s.conn.rto_us ? s.conn.rto_us : 200));
+    cfg.tb = opt_.base_tb;
+    cfg.tb.nic.wire_faults = s.faults.wire;
+    cfg.tb.tlp.faults = s.faults.pcie;
+    cfg.tb.accel_faults = s.faults.accel;
+    cfg.tb.fault_seed = s.faults.seed;
+    cfg.fault_target_port = s.conn.fault_target_port;
+    cfg.trace = opt_.check_trace;
+
+    FastPathReport r = run_fastpath_scenario(cfg);
+    d.tx = r.client_bytes;
+    d.rx = r.server_bytes;
+    // Lost frames gate the differential the same way echo drops do:
+    // under loss the two modes legitimately diverge in timing.
+    d.drops = r.faults.wire_drops + r.faults.wire_corruptions;
+    for (const auto& [port, fd] : r.server_flows)
+        d.flow_digests[port] = fd.digest;
+    d.faults = r.faults;
+    d.ledger = r.ledger;
+    d.violations = r.violations;
+    d.trace_violations = r.trace_violations;
+    d.end_time = r.end_time;
+    return d;
+}
+
 FuzzVerdict
 FuzzRunner::run(const sim::FuzzScenario& scenario)
 {
@@ -261,6 +311,9 @@ FuzzRunner::run(const sim::FuzzScenario& scenario)
 
     if (scenario.workload.mode == sim::FuzzMode::RdmaEcho) {
         runs.push_back(run_rdma(scenario));
+    } else if (scenario.workload.mode == sim::FuzzMode::ConnServe) {
+        runs.push_back(run_conn(scenario, /*fld_mode=*/true));
+        runs.push_back(run_conn(scenario, /*fld_mode=*/false));
     } else {
         runs.push_back(run_eth(scenario, /*fld_path=*/true));
         runs.push_back(run_eth(scenario, /*fld_path=*/false));
@@ -278,6 +331,8 @@ FuzzRunner::run(const sim::FuzzScenario& scenario)
             fail(strfmt("[%s] %llu deliveries with corrupted payload",
                         d.label.c_str(),
                         (unsigned long long)d.bad_payload));
+        for (const std::string& h : d.violations)
+            fail(strfmt("[%s] %s", d.label.c_str(), h.c_str()));
         for (const std::string& t : d.trace_violations)
             fail(strfmt("[%s] trace: %s", d.label.c_str(), t.c_str()));
         std::string c = d.ledger.check();
@@ -312,8 +367,9 @@ FuzzRunner::run(const sim::FuzzScenario& scenario)
                             (unsigned long long)fld.rx,
                             (unsigned long long)cpu.rx));
             if (fld.rx != fld.tx)
-                fail(strfmt("fault-free fld run lost echoes: tx=%llu "
-                            "rx=%llu",
+                fail(strfmt("fault-free %s run lost deliveries: "
+                            "tx=%llu rx=%llu",
+                            fld.label.c_str(),
                             (unsigned long long)fld.tx,
                             (unsigned long long)fld.rx));
             if (fld.flow_digests != cpu.flow_digests)

@@ -18,6 +18,12 @@
  *  (d) conservation: tx = rx + accounted drops + in-flight, via the
  *      sim::ConservationLedger over NIC/driver/AFU/fault counters.
  *
+ * A ConnServe scenario likewise runs twice — the same AppEmu TCP
+ * workload against an FLD-served and a CPU-served host fast path
+ * (apps::run_fastpath_scenario) — and folds the harness's lifecycle /
+ * exactly-once / conservation verdicts into the same four-oracle
+ * frame, with per-flow digest equality as the differential check.
+ *
  * End-to-end payload integrity (pattern verification) is checked
  * unconditionally — corrupted frames must be FCS-dropped, never
  * delivered damaged.
@@ -66,6 +72,10 @@ struct FuzzRunDigest
     std::map<uint32_t, uint64_t> flow_digests;
     sim::FaultCounters faults;
     sim::ConservationLedger ledger;
+    /** Oracle violations the materialized harness judged itself
+     *  (ConnServe: the fastpath harness's lifecycle/exactly-once/
+     *  conservation verdicts); folded into the FuzzVerdict. */
+    std::vector<std::string> violations;
     std::vector<std::string> trace_violations;
     uint64_t trace_hash = 0; ///< FNV of the causal trace digest
     sim::TimePs end_time = 0;
@@ -96,6 +106,7 @@ class FuzzRunner
   private:
     FuzzRunDigest run_eth(const sim::FuzzScenario& s, bool fld_path);
     FuzzRunDigest run_rdma(const sim::FuzzScenario& s);
+    FuzzRunDigest run_conn(const sim::FuzzScenario& s, bool fld_mode);
 
     PktGenConfig gen_config(const sim::FuzzScenario& s) const;
     TestbedConfig tb_config(const sim::FuzzScenario& s) const;

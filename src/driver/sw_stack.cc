@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "sim/trace.h"
-
 namespace fld::driver {
 
 SoftwareReceiveStack::SoftwareReceiveStack(sim::EventQueue& eq,
@@ -62,171 +60,55 @@ SoftwareReceiveStack::account(uint32_t, const net::Packet& pkt)
 // Send side
 // ---------------------------------------------------------------------
 
+FastPathConfig
+SoftwareSendStack::fp_config(const SendStackConfig& cfg)
+{
+    FastPathConfig fp;
+    fp.mac = cfg.src_mac;
+    fp.ip = cfg.src_ip;
+    fp.conn.mss = cfg.mss;
+    fp.conn.window_segments = cfg.window_segments;
+    fp.conn.rto = cfg.rto;
+    fp.conn.max_retries = cfg.max_retries;
+    fp.slot_bytes = std::max(2048u, cfg.mss);
+    // The legacy stack never answered ARP requests; keep frame-level
+    // behavior identical for callers counting emitted frames.
+    fp.arp_responder = false;
+    return fp;
+}
+
 SoftwareSendStack::SoftwareSendStack(sim::EventQueue& eq, TxFn tx,
                                      SendStackConfig cfg)
-    : eq_(eq), tx_(std::move(tx)), cfg_(cfg)
+    : fp_(eq, fp_config(cfg))
 {
+    fp_.set_tx([fn = std::move(tx)](net::Packet&& p) {
+        fn(std::move(p));
+        return true; // the hook has no backpressure channel
+    });
+    conn_id_ = fp_.open_established(FastPath::kNoApp, 0, cfg.dst_ip,
+                                    cfg.dport, cfg.sport,
+                                    /*legacy=*/true);
+    c_ = fp_.conn(conn_id_);
 }
 
 void
 SoftwareSendStack::add_arp_entry(uint32_t ip, const net::MacAddr& mac)
 {
-    arp_cache_[ip] = mac;
+    fp_.add_arp_entry(ip, mac);
 }
 
 size_t
 SoftwareSendStack::send(const uint8_t* data, size_t len)
 {
-    // Slice the stream at MSS boundaries up front; the window decides
-    // when each slice actually leaves.
-    for (size_t off = 0; off < len; off += cfg_.mss) {
-        Segment seg;
-        seg.seq = snd_nxt_;
-        size_t n = std::min<size_t>(cfg_.mss, len - off);
-        // Intentional copy: each segment owns its bytes so it can be
-        // retransmitted after the caller's buffer is gone.
-        seg.payload.assign(data + off, data + off + n);
-        seg.push = off + n == len;
-        snd_nxt_ += uint32_t(n);
-        backlog_.push_back(std::move(seg));
-    }
-    pump();
-    return len;
-}
-
-void
-SoftwareSendStack::pump()
-{
-    if (!arp_cache_.count(cfg_.dst_ip)) {
-        if (!arp_pending_ && !backlog_.empty()) {
-            arp_pending_ = true;
-            send_arp_request();
-        }
-        return;
-    }
-    while (!backlog_.empty() &&
-           unacked_.size() < cfg_.window_segments) {
-        Segment seg = std::move(backlog_.front());
-        backlog_.pop_front();
-        transmit(seg);
-        ++segments_sent_;
-        unacked_.push_back(std::move(seg));
-    }
-    if (!unacked_.empty() && !timer_armed_)
-        arm_timer();
-}
-
-void
-SoftwareSendStack::transmit(const Segment& seg)
-{
-    uint8_t flags = 0x10; // ACK
-    if (seg.push)
-        flags |= 0x08; // PSH
-    net::Packet pkt =
-        net::PacketBuilder()
-            .eth(cfg_.src_mac, arp_cache_.at(cfg_.dst_ip))
-            .ipv4(cfg_.src_ip, cfg_.dst_ip, net::kIpProtoTcp, ip_id_++)
-            .tcp(cfg_.sport, cfg_.dport, seg.seq, /*ack=*/0, flags)
-            .payload(seg.payload)
-            .build();
-    tx_(std::move(pkt));
-}
-
-void
-SoftwareSendStack::send_arp_request()
-{
-    ++arp_requests_;
-    net::EthHeader eth;
-    eth.src = cfg_.src_mac;
-    eth.dst = {0xff, 0xff, 0xff, 0xff, 0xff, 0xff};
-    eth.ethertype = net::kEtherTypeArp;
-
-    net::ArpHeader arp;
-    arp.oper = net::ArpHeader::kRequest;
-    arp.sender_mac = cfg_.src_mac;
-    arp.sender_ip = cfg_.src_ip;
-    arp.target_ip = cfg_.dst_ip;
-
-    net::Packet pkt;
-    pkt.data.resize(net::kEthHeaderLen + net::kArpLen);
-    eth.encode(pkt.bytes());
-    arp.encode(pkt.bytes() + net::kEthHeaderLen);
-    tx_(std::move(pkt));
+    return fp_.stream_send(conn_id_, data, len);
 }
 
 void
 SoftwareSendStack::on_rx(const net::Packet& pkt)
 {
-    if (pkt.size() < net::kEthHeaderLen)
-        return;
-    net::EthHeader eth = net::EthHeader::decode(pkt.bytes());
-    if (eth.ethertype == net::kEtherTypeArp) {
-        auto arp = net::ArpHeader::decode(pkt.bytes() + net::kEthHeaderLen,
-                                          pkt.size() - net::kEthHeaderLen);
-        if (arp && arp->oper == net::ArpHeader::kReply) {
-            arp_cache_[arp->sender_ip] = arp->sender_mac;
-            if (arp->sender_ip == cfg_.dst_ip)
-                arp_pending_ = false;
-            pump();
-        }
-        return;
-    }
-    net::ParsedPacket pp = net::parse(pkt);
-    if (pp.tcp && (pp.tcp->flags & 0x10))
-        handle_ack(pp.tcp->ack);
-}
-
-void
-SoftwareSendStack::handle_ack(uint32_t ack)
-{
-    // Cumulative ACK: everything below `ack` is delivered.
-    if (int32_t(ack - snd_una_) <= 0)
-        return; // duplicate or stale
-    snd_una_ = ack;
-    retries_ = 0;
-    while (!unacked_.empty() &&
-           int32_t(unacked_.front().seq +
-                   uint32_t(unacked_.front().payload.size()) - ack) <= 0)
-        unacked_.pop_front();
-
-    // Progress voids any armed timer; re-arm below if data remains.
-    ++timer_gen_;
-    timer_armed_ = false;
-    pump();
-}
-
-void
-SoftwareSendStack::arm_timer()
-{
-    timer_armed_ = true;
-    uint64_t gen = ++timer_gen_;
-    eq_.schedule_in(cfg_.rto, [this, gen] { on_timeout(gen); });
-}
-
-void
-SoftwareSendStack::on_timeout(uint64_t generation)
-{
-    if (generation != timer_gen_ || !timer_armed_)
-        return; // an ACK (or a newer arm) voided this timer
-    timer_armed_ = false;
-    if (unacked_.empty())
-        return;
-    if (++retries_ > cfg_.max_retries) {
-        // Connection reset: drop everything in flight and queued.
-        ++resets_;
-        unacked_.clear();
-        backlog_.clear();
-        return;
-    }
-    // Go-back-N: resend the entire unacknowledged window.
-    for (const Segment& seg : unacked_) {
-        transmit(seg);
-        ++retransmits_;
-    }
-    if (auto* tr = sim::Tracer::active())
-        tr->emit(eq_.now(), sim::TraceEventKind::Retransmit, "sw_stack",
-                 "gbn", 0, 0, 0, uint32_t(unacked_.size()));
-    arm_timer();
+    // Intentional copy: the legacy interface passes frames by
+    // reference while the fast path consumes them.
+    fp_.on_rx(net::Packet(pkt));
 }
 
 } // namespace fld::driver

@@ -18,11 +18,10 @@
 #define FLD_DRIVER_SW_STACK_H
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 
 #include "driver/cpu_driver.h"
+#include "driver/fastpath.h"
 #include "driver/host.h"
 #include "net/headers.h"
 #include "net/ip_reassembly.h"
@@ -108,14 +107,17 @@ struct SendStackConfig
  * Single-connection kernel send path: stream bytes in, Ethernet
  * frames out through a caller-supplied transmit hook.
  *
+ * Since the per-flow fast path landed this is a thin compatibility
+ * wrapper over driver::FastPath with one pre-established legacy
+ * connection — same frame bytes, same counters, same timer
+ * semantics as the original single-connection stack:
+ *
  * - ARP: frames to an unresolved next hop are queued while a request
  *   is broadcast; the reply releases them. Replies also refresh the
  *   cache unprompted (gratuitous ARP).
  * - Segmentation: send() slices the stream at MSS boundaries; the
  *   final short segment carries PSH.
- * - Reliability: go-back-N. A single timer covers the oldest
- *   unacknowledged segment; any cumulative ACK advancing snd_una
- *   re-arms it, a timeout resends the whole window. A generation
+ * - Reliability: go-back-N with a per-connection timer; a generation
  *   counter voids timers armed before the latest ACK, so a stale
  *   callback never retransmits acknowledged data.
  */
@@ -139,55 +141,29 @@ class SoftwareSendStack
 
     /** Pre-seed the ARP cache (static neighbor entry). */
     void add_arp_entry(uint32_t ip, const net::MacAddr& mac);
-    bool resolved(uint32_t ip) const { return arp_cache_.count(ip); }
+    bool resolved(uint32_t ip) const { return fp_.resolved(ip); }
+
+    /** The underlying fast path (shared with no one: one legacy
+     *  connection, ring-less). */
+    FastPath& fastpath() { return fp_; }
 
     // Introspection for tests and stats.
-    uint32_t snd_una() const { return snd_una_; }
-    uint32_t snd_nxt() const { return snd_nxt_; }
-    uint64_t segments_sent() const { return segments_sent_; }
-    uint64_t retransmits() const { return retransmits_; }
-    uint64_t arp_requests() const { return arp_requests_; }
-    uint64_t resets() const { return resets_; }
-    size_t unacked_segments() const { return unacked_.size(); }
-    size_t backlog_segments() const { return backlog_.size(); }
-    bool timer_armed() const { return timer_armed_; }
+    uint32_t snd_una() const { return c_->snd_una(); }
+    uint32_t snd_nxt() const { return c_->snd_nxt(); }
+    uint64_t segments_sent() const { return c_->segments_sent(); }
+    uint64_t retransmits() const { return c_->retransmits(); }
+    uint64_t arp_requests() const { return fp_.stats().arp_requests; }
+    uint64_t resets() const { return c_->resets(); }
+    size_t unacked_segments() const { return c_->unacked_segments(); }
+    size_t backlog_segments() const { return c_->backlog_segments(); }
+    bool timer_armed() const { return c_->timer_armed(); }
 
   private:
-    struct Segment
-    {
-        uint32_t seq = 0;
-        std::vector<uint8_t> payload;
-        bool push = false;
-    };
+    static FastPathConfig fp_config(const SendStackConfig& cfg);
 
-    void pump();
-    void transmit(const Segment& seg);
-    void send_arp_request();
-    void handle_ack(uint32_t ack);
-    void arm_timer();
-    void on_timeout(uint64_t generation);
-
-    sim::EventQueue& eq_;
-    TxFn tx_;
-    SendStackConfig cfg_;
-
-    std::map<uint32_t, net::MacAddr> arp_cache_;
-    bool arp_pending_ = false;
-
-    uint32_t snd_una_ = 1; ///< oldest unacknowledged sequence byte
-    uint32_t snd_nxt_ = 1; ///< next sequence byte to transmit
-    std::deque<Segment> backlog_; ///< sliced, waiting for window/ARP
-    std::deque<Segment> unacked_; ///< transmitted, awaiting ACK
-
-    bool timer_armed_ = false;
-    uint64_t timer_gen_ = 0; ///< voids stale timeout callbacks
-    uint32_t retries_ = 0;
-    uint16_t ip_id_ = 1;
-
-    uint64_t segments_sent_ = 0;
-    uint64_t retransmits_ = 0;
-    uint64_t arp_requests_ = 0;
-    uint64_t resets_ = 0;
+    FastPath fp_;
+    uint32_t conn_id_ = FastPath::kNoConn;
+    const Connection* c_ = nullptr;
 };
 
 } // namespace fld::driver

@@ -43,7 +43,8 @@ EthernetLink::connect(NetPort& src, NetPort& dst, sim::TimePs& busy_until,
             tr->emit(eq_.now(), sim::TraceEventKind::WireTx, src.name(),
                      "frame", pkt.meta.corr, pkt.meta.queue_id, 0, 1,
                      pkt.size());
-        if (faults_ && fault_cfg_.enabled()) {
+        if (faults_ && fault_cfg_.enabled() &&
+            (!fault_filter_ || fault_filter_(pkt))) {
             auto inject = [&](const char* what) {
                 if (auto* tr = sim::Tracer::active())
                     tr->emit(eq_.now(), sim::TraceEventKind::FaultInject,

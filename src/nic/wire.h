@@ -88,6 +88,16 @@ class EthernetLink
         fault_cfg_ = cfg;
     }
 
+    /**
+     * Restrict faults to frames the predicate selects. Frames it
+     * rejects never consult the fault plan, so they neither suffer
+     * faults nor advance its RNG — targeting one flow leaves every
+     * other flow's frames bit-identical to a filter-free run with the
+     * same plan. A null filter (the default) faults all frames.
+     */
+    using FaultFilter = std::function<bool(const net::Packet&)>;
+    void set_fault_filter(FaultFilter f) { fault_filter_ = std::move(f); }
+
   private:
     void connect(NetPort& src, NetPort& dst, sim::TimePs& busy_until,
                  sim::RateMeter& meter);
@@ -101,6 +111,7 @@ class EthernetLink
     sim::RateMeter meters_[2];
     sim::FaultPlan* faults_ = nullptr;
     sim::WireFaultConfig fault_cfg_;
+    FaultFilter fault_filter_;
 };
 
 } // namespace fld::nic

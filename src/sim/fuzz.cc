@@ -17,6 +17,8 @@ to_string(FuzzMode mode)
         return "eth-echo";
     case FuzzMode::RdmaEcho:
         return "rdma-echo";
+    case FuzzMode::ConnServe:
+        return "conn-serve";
     }
     return "?";
 }
@@ -60,6 +62,13 @@ FuzzScenario::to_string() const
     os << "pcie_doorbell_jitter_prob = " << faults.pcie.doorbell_jitter_prob
        << "\n";
     os << "accel_stall_prob = " << faults.accel.stall_prob << "\n";
+    os << "conn_connections = " << conn.connections << "\n";
+    os << "conn_requests = " << conn.requests << "\n";
+    os << "conn_request_bytes = " << conn.request_bytes << "\n";
+    os << "conn_closed_loop = " << (conn.closed_loop ? 1 : 0) << "\n";
+    os << "conn_churn_cycles = " << conn.churn_cycles << "\n";
+    os << "conn_rto_us = " << conn.rto_us << "\n";
+    os << "conn_fault_target_port = " << conn.fault_target_port << "\n";
     return os.str();
 }
 
@@ -67,6 +76,18 @@ std::string
 FuzzScenario::summary() const
 {
     std::ostringstream os;
+    if (workload.mode == FuzzMode::ConnServe) {
+        os << "conn-serve conns=" << conn.connections
+           << " reqs=" << conn.requests << "x" << conn.request_bytes
+           << "B" << (conn.closed_loop ? "" : " open-loop");
+        if (conn.churn_cycles)
+            os << " churn=" << conn.churn_cycles;
+        os << " rto=" << conn.rto_us << "us";
+        if (conn.fault_target_port)
+            os << " target=" << conn.fault_target_port;
+        os << (has_faults() ? " faulty" : " fault-free");
+        return os.str();
+    }
     os << sim::to_string(workload.mode) << " pkts=" << workload.packets
        << " bytes=" << workload.bytes << (workload.imc_mix ? "(imc)" : "")
        << " flows=" << workload.flows;
@@ -244,6 +265,35 @@ ScenarioFuzzer::generate(uint64_t seed) const
         // Accelerator stalls apply to the AFU-side accel units, which
         // the FLD-R echo scenario does not instantiate.
         s.faults.accel = {};
+    }
+
+    // ---- connection workload -----------------------------------------
+    // Drawn after every pre-existing knob (ordering note at the top),
+    // and drawn for every seed: eth/rdma scenarios carry valid conn
+    // fields too, which is what lets `fld_fuzz --conn` force-serve any
+    // seed's connection shape without perturbing the other draws.
+    bool conn_serve = rng.chance(0.30);
+    s.conn.connections = uint32_t(rng.range(1, 48));
+    s.conn.requests = uint32_t(rng.range(1, 6));
+    s.conn.request_bytes = uint32_t(rng.range(16, 1024));
+    s.conn.closed_loop = rng.chance(0.7);
+    s.conn.churn_cycles = rng.chance(0.25) ? 1 : 0;
+    s.conn.rto_us = rng.chance(0.25) ? 500 : 200;
+    // Under faults, half the time concentrate every wire fault on one
+    // flow (AppEmu ports start at 20000): the per-flow isolation
+    // oracle — neighbors must see zero retransmissions — only has
+    // teeth when the faults are targeted.
+    if (rng.chance(0.5))
+        s.conn.fault_target_port =
+            uint16_t(20000 + rng.uniform(s.conn.connections));
+    if (conn_serve) {
+        s.workload.mode = FuzzMode::ConnServe;
+        // The TCP stack owns segmentation, pacing and loop shape; the
+        // echo workload fields and eSwitch/offload knobs do not apply.
+        s.workload.imc_mix = false;
+        s.workload.flows = 1;
+        s.vxlan = false;
+        s.shaper_gbps = 0.0;
     }
 
     return s;
@@ -455,6 +505,50 @@ ScenarioShrinker::shrink(const FuzzScenario& failing)
             s.signal_interval = defaults.signal_interval;
             s.wqe_by_mmio = defaults.wqe_by_mmio;
             s.fetch_inflight = defaults.fetch_inflight;
+            return true;
+        },
+        // Connection-workload reductions (ConnServe scenarios only;
+        // halvings reach a fixpoint through the outer loop).
+        [](FuzzScenario& s) {
+            if (s.workload.mode != FuzzMode::ConnServe ||
+                s.conn.connections <= 1)
+                return false;
+            s.conn.connections = std::max(1u, s.conn.connections / 2);
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (s.workload.mode != FuzzMode::ConnServe ||
+                s.conn.requests <= 1)
+                return false;
+            s.conn.requests = 1;
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (s.workload.mode != FuzzMode::ConnServe ||
+                s.conn.request_bytes == 64)
+                return false;
+            s.conn.request_bytes = 64;
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (s.workload.mode != FuzzMode::ConnServe ||
+                s.conn.churn_cycles == 0)
+                return false;
+            s.conn.churn_cycles = 0;
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (s.workload.mode != FuzzMode::ConnServe ||
+                s.conn.closed_loop)
+                return false;
+            s.conn.closed_loop = true;
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (s.workload.mode != FuzzMode::ConnServe ||
+                s.conn.fault_target_port == 0)
+                return false;
+            s.conn.fault_target_port = 0;
             return true;
         },
     };

@@ -40,6 +40,7 @@ namespace fld::sim {
 enum class FuzzMode : uint8_t {
     EthEcho,  ///< FLD-E echo AFU vs CPU testpmd echo (differential)
     RdmaEcho, ///< FLD-R echo over the RC transport (exactly-once)
+    ConnServe,///< host fast path TCP workload, FLD- vs CPU-served
 };
 
 const char* to_string(FuzzMode mode);
@@ -63,6 +64,27 @@ struct FuzzWorkload
 };
 
 /**
+ * Connection-workload shape for FuzzMode::ConnServe scenarios: an
+ * AppEmu client opens TCP connections through the host fast path to a
+ * server stack that is either FLD-served or CPU-served (the
+ * differential pair), sends patterned requests on each and closes.
+ * Every generated scenario carries valid conn fields regardless of
+ * mode, so `fld_fuzz --conn` can force-serve any seed.
+ */
+struct ConnWorkload
+{
+    uint32_t connections = 8;
+    uint32_t requests = 4;       ///< requests per connection
+    uint32_t request_bytes = 256;
+    bool closed_loop = true;     ///< wait for acks between requests
+    uint32_t churn_cycles = 0;   ///< close/reopen rounds per slot
+    uint32_t rto_us = 200;       ///< per-connection retransmit timeout
+    /** When non-zero, wire faults hit only this client port's flow
+     *  (maps onto FastPathHarnessConfig::fault_target_port). */
+    uint16_t fault_target_port = 0;
+};
+
+/**
  * One randomized run, fully described. Field defaults are the
  * testbed defaults, so a default-constructed scenario reproduces the
  * calibrated fault-free setup and `reset to defaults` shrink passes
@@ -73,6 +95,7 @@ struct FuzzScenario
     uint64_t seed = 0; ///< the seed that generated this scenario
 
     FuzzWorkload workload;
+    ConnWorkload conn; ///< used when workload.mode == ConnServe
 
     // -- receiver geometry ---------------------------------------------
     uint32_t echo_queues = 1;    ///< CPU echo server RSS width

@@ -121,5 +121,72 @@ TEST(FuzzRegression, CompressedCqeCorrelationStaysFixed)
     EXPECT_TRUE(v.ok) << v.transcript;
 }
 
+TEST(FuzzReplay, ConnSeedMatrixRunsClean)
+{
+    // Mirror of fld_fuzz --conn: force the connection workload onto a
+    // handful of fixed seeds (every seed carries conn draws) covering
+    // closed/open loop, churn and the faulty / fault-free halves.
+    sim::ScenarioFuzzer fuzzer;
+    FuzzRunner runner = make_runner();
+    for (uint64_t seed : {1ull, 4ull, 9ull, 16ull}) {
+        sim::FuzzScenario s = fuzzer.generate(seed);
+        s.workload.mode = sim::FuzzMode::ConnServe;
+        s.conn.connections = std::min(s.conn.connections, 16u);
+        FuzzVerdict v = runner.run(s);
+        EXPECT_TRUE(v.ok) << "seed " << seed << "\n" << v.transcript;
+    }
+}
+
+/**
+ * Shrunk regression scenario: the fast path once kept a single global
+ * retransmission deadline instead of one timer per connection, so a
+ * neighbor's loss-induced backoff rewound (or starved) the timer of a
+ * healthy flow — the conn fuzzer flagged it as spurious retransmits
+ * (differential digest divergence) on flows the fault filter never
+ * touched. Shrunk to two connections with every wire fault
+ * concentrated on the second flow; the first must ride a clean wire.
+ */
+TEST(FuzzRegression, ConnTargetedLossIsolationStaysFixed)
+{
+    sim::FuzzScenario s;
+    s.seed = 0;
+    s.workload.mode = sim::FuzzMode::ConnServe;
+    s.conn.connections = 2;
+    s.conn.requests = 2;
+    s.conn.request_bytes = 256;
+    s.conn.closed_loop = true;
+    s.faults.seed = 7;
+    s.faults.wire.drop_prob = 0.3;
+    s.faults.wire.reorder_prob = 0.2;
+    s.conn.fault_target_port = 20001; // slot 1's flow takes every fault
+
+    FuzzVerdict v = make_runner().run(s);
+    EXPECT_TRUE(v.ok) << v.transcript;
+}
+
+/**
+ * Shrunk regression scenario: open-loop sends used to be dropped on
+ * the floor when the app TX ring filled mid-churn (the descriptor was
+ * counted sent but never queued), which the conn fuzzer reported as a
+ * fault-free FLD/CPU digest mismatch. Minimized to three open-loop
+ * connections reopened once each — small enough that the second
+ * incarnation's opens land while the first's closes still occupy the
+ * ring.
+ */
+TEST(FuzzRegression, ConnOpenLoopChurnDifferentialStaysFixed)
+{
+    sim::FuzzScenario s;
+    s.seed = 0;
+    s.workload.mode = sim::FuzzMode::ConnServe;
+    s.conn.connections = 3;
+    s.conn.requests = 2;
+    s.conn.request_bytes = 512;
+    s.conn.closed_loop = false;
+    s.conn.churn_cycles = 1;
+
+    FuzzVerdict v = make_runner().run(s);
+    EXPECT_TRUE(v.ok) << v.transcript;
+}
+
 } // namespace
 } // namespace fld::apps

@@ -42,7 +42,10 @@ TEST(ScenarioFuzzerTest, GeneratedScenariosStayInEnvelope)
             // The IMC mixture draws sizes itself and needs a full MTU.
             EXPECT_EQ(s.workload.bytes, 0u);
             EXPECT_EQ(s.mtu, 1500u);
-        } else {
+        } else if (s.workload.mode != FuzzMode::ConnServe) {
+            // Conn-serve flips imc_mix off without re-drawing bytes —
+            // the eth size knobs are inert there (ConnWorkload drives
+            // the harness) — so the floor only binds for eth/RDMA.
             EXPECT_GE(s.workload.bytes, 64u);
             EXPECT_LE(s.workload.bytes, s.mtu);
         }
@@ -75,6 +78,29 @@ TEST(ScenarioFuzzerTest, GeneratedScenariosStayInEnvelope)
             EXPECT_FALSE(s.vxlan);
             EXPECT_EQ(s.shaper_gbps, 0.0);
             EXPECT_FALSE(s.faults.accel.enabled());
+        }
+
+        // Every seed carries conn draws (so --conn can force-serve
+        // any seed); the shape must stay inside the harness envelope.
+        EXPECT_GE(s.conn.connections, 1u);
+        EXPECT_LE(s.conn.connections, 48u);
+        EXPECT_GE(s.conn.requests, 1u);
+        EXPECT_LE(s.conn.requests, 6u);
+        EXPECT_GE(s.conn.request_bytes, 16u);
+        EXPECT_LE(s.conn.request_bytes, 1024u);
+        EXPECT_LE(s.conn.churn_cycles, 1u);
+        EXPECT_TRUE(s.conn.rto_us == 200 || s.conn.rto_us == 500);
+        if (s.conn.fault_target_port) {
+            EXPECT_GE(s.conn.fault_target_port, 20000u);
+            EXPECT_LT(s.conn.fault_target_port,
+                      20000u + s.conn.connections);
+        }
+        if (s.workload.mode == FuzzMode::ConnServe) {
+            // The serve flip clamps knobs the harness doesn't model.
+            EXPECT_FALSE(s.workload.imc_mix);
+            EXPECT_EQ(s.workload.flows, 1u);
+            EXPECT_FALSE(s.vxlan);
+            EXPECT_EQ(s.shaper_gbps, 0.0);
         }
 
         // The dump must round-trip every decision: non-empty and

@@ -11,13 +11,18 @@
  * Usage:
  *   fld_fuzz [--seeds=N] [--seed0=S] [--budget=120s] [--jobs=N]
  *            [--replay=SEED] [--artifacts=DIR] [--no-trace]
- *            [--churn=N]
+ *            [--churn=N] [--conn=N]
  *
  *   --churn=N       control-plane mode: N seeds of randomized
  *                   many-tenant churn scenarios (sim::ChurnGen)
  *                   through the ChurnHarness oracles (shadow map,
  *                   stat conservation, budget/model reconciliation,
  *                   fault rejection) instead of datapath scenarios
+ *   --conn=N        connection-workload mode: N seeds, each forced to
+ *                   FuzzMode::ConnServe (every seed carries valid conn
+ *                   draws), run FLD-served vs CPU-served through the
+ *                   fastpath harness oracles; failures shrink and
+ *                   write artifacts exactly like datapath mode
  *   --seeds=N       run N consecutive seeds (default 100)
  *   --seed0=S       first seed (default 1)
  *   --budget=T      stop after T wall-clock seconds (e.g. 120s);
@@ -61,6 +66,7 @@ struct CliOptions
     std::string artifacts = ".";
     bool trace = true;
     uint64_t churn = 0; ///< >0: churn mode, N seeds
+    uint64_t conn = 0;  ///< >0: connection-workload mode, N seeds
 };
 
 bool
@@ -87,6 +93,8 @@ parse_args(int argc, char** argv, CliOptions& o)
             o.artifacts = v;
         else if (const char* v = val("--churn="))
             o.churn = std::strtoull(v, nullptr, 0);
+        else if (const char* v = val("--conn="))
+            o.conn = std::strtoull(v, nullptr, 0);
         else if (a == "--no-trace")
             o.trace = false;
         else {
@@ -151,9 +159,44 @@ report_failure(const CliOptions& o, apps::FuzzRunner& runner,
                 "(failing_seed.txt, minimized_scenario.txt, "
                 "transcript.txt)\n",
                 o.artifacts.c_str());
-    std::printf("replay with: fld_fuzz --replay=%llu\n",
-                (unsigned long long)failing.seed);
+    if (failing.workload.mode == sim::FuzzMode::ConnServe)
+        std::printf("replay with: fld_fuzz --conn=1 --seed0=%llu\n",
+                    (unsigned long long)failing.seed);
+    else
+        std::printf("replay with: fld_fuzz --replay=%llu\n",
+                    (unsigned long long)failing.seed);
     return 1;
+}
+
+/**
+ * Connection-workload sweep: every seed already carries conn-shape
+ * draws (they sit at the tail of the generator's draw order), so the
+ * mode is simply forced to ConnServe and the scenario replays from
+ * the seed alone. Seeds whose natural mode is already ConnServe are
+ * unchanged by the forcing.
+ */
+int
+run_conn_mode(const CliOptions& o)
+{
+    sim::ScenarioFuzzer fuzzer;
+    apps::FuzzRunner runner = make_runner(o);
+    for (uint64_t i = 0; i < o.conn; ++i) {
+        uint64_t seed = o.seed0 + i;
+        sim::FuzzScenario s = fuzzer.generate(seed);
+        s.workload.mode = sim::FuzzMode::ConnServe;
+        apps::FuzzVerdict v = runner.run(s);
+        if (!v.ok)
+            return report_failure(o, runner, s, v);
+        if ((i + 1) % 10 == 0 || i + 1 == o.conn)
+            std::printf("[%llu/%llu] conn seed %llu ok: %s\n",
+                        (unsigned long long)(i + 1),
+                        (unsigned long long)o.conn,
+                        (unsigned long long)seed,
+                        s.summary().c_str());
+    }
+    std::printf("all %llu conn seeds clean\n",
+                (unsigned long long)o.conn);
+    return 0;
 }
 
 /** One randomized churn scenario per seed: the geometry, fault mix
@@ -236,6 +279,8 @@ main(int argc, char** argv)
 
     if (o.churn > 0)
         return run_churn_mode(o);
+    if (o.conn > 0)
+        return run_conn_mode(o);
 
     sim::ScenarioFuzzer fuzzer;
     apps::FuzzRunner runner = make_runner(o);
