@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "apps/fastpath_harness.h"
+#include "apps/rpc_harness.h"
 #include "sim/trace.h"
 #include "util/strings.h"
 
@@ -303,6 +304,73 @@ FuzzRunner::run_conn(const sim::FuzzScenario& s, bool fld_mode)
     return d;
 }
 
+FuzzRunDigest
+FuzzRunner::run_rpc(const sim::FuzzScenario& s, bool fld_mode)
+{
+    FuzzRunDigest d;
+    d.label = fld_mode ? "rpc-fld" : "rpc-cpu";
+
+    RpcHarnessConfig cfg;
+    cfg.mode = fld_mode ? FastPathMode::Fld : FastPathMode::Cpu;
+    cfg.client.connections = std::max(1u, s.rpc.connections);
+    cfg.client.requests_per_conn = std::max(1u, s.rpc.requests);
+    cfg.client.payload_min = std::max(1u, s.rpc.payload_min);
+    cfg.client.payload_max =
+        std::max(cfg.client.payload_min, s.rpc.payload_max);
+    cfg.client.methods_mask = s.rpc.methods_mask ? s.rpc.methods_mask
+                                                 : 0x1;
+    cfg.client.think_mean =
+        sim::microseconds(double(s.rpc.think_us));
+    cfg.client.tx_chunk_bytes = s.rpc.chunk_bytes;
+    // Same client seed for both runs: the request streams must be
+    // identical for the differential comparison.
+    cfg.client.seed = s.seed ^ 0xa5a5a5a5deadbeefull;
+    cfg.server.service.workers = std::max(1u, s.rpc.workers);
+    cfg.conn.rto =
+        sim::microseconds(double(s.conn.rto_us ? s.conn.rto_us : 200));
+    cfg.tb = opt_.base_tb;
+    cfg.tb.nic.wire_faults = s.faults.wire;
+    cfg.tb.tlp.faults = s.faults.pcie;
+    cfg.tb.accel_faults = s.faults.accel;
+    cfg.tb.fault_seed = s.faults.seed;
+    // The fault-concentration port is drawn for the AppEmu range
+    // (20000+); remap it onto the RPC client range (base_port 21000)
+    // keeping the targeted/untargeted split. Deterministic per seed.
+    cfg.fault_target_port = s.conn.fault_target_port
+        ? uint16_t(21000 + (s.conn.fault_target_port - 20000) %
+                               cfg.client.connections)
+        : 0;
+    cfg.trace = opt_.check_trace;
+
+    RpcReport r = run_rpc_scenario(cfg);
+    d.tx = r.client_app.requests_sent;
+    d.rx = r.client_app.responses;
+    // Lost frames gate the differential like echo drops: under loss
+    // the two modes legitimately diverge (resets, missing responses).
+    d.drops = r.faults.wire_drops + r.faults.wire_corruptions;
+    // Fold the per-request response digests per connection (the high
+    // half of a request_id is the client port) so the existing
+    // per-flow differential machinery diffs them FLD vs CPU.
+    for (const auto& [id, digest] : r.digests) {
+        uint32_t port = uint32_t(id >> 32);
+        uint64_t& h = d.flow_digests[port];
+        if (h == 0)
+            h = sim::kFnvBasis;
+        uint8_t b[16];
+        for (int i = 0; i < 8; ++i) {
+            b[i] = uint8_t(id >> (8 * i));
+            b[8 + i] = uint8_t(digest >> (8 * i));
+        }
+        h = sim::fnv1a64(b, sizeof b, h);
+    }
+    d.faults = r.faults;
+    d.ledger = r.ledger;
+    d.violations = r.violations;
+    d.trace_violations = r.trace_violations;
+    d.end_time = r.end_time;
+    return d;
+}
+
 FuzzVerdict
 FuzzRunner::run(const sim::FuzzScenario& scenario)
 {
@@ -314,6 +382,9 @@ FuzzRunner::run(const sim::FuzzScenario& scenario)
     } else if (scenario.workload.mode == sim::FuzzMode::ConnServe) {
         runs.push_back(run_conn(scenario, /*fld_mode=*/true));
         runs.push_back(run_conn(scenario, /*fld_mode=*/false));
+    } else if (scenario.workload.mode == sim::FuzzMode::RpcServe) {
+        runs.push_back(run_rpc(scenario, /*fld_mode=*/true));
+        runs.push_back(run_rpc(scenario, /*fld_mode=*/false));
     } else {
         runs.push_back(run_eth(scenario, /*fld_path=*/true));
         runs.push_back(run_eth(scenario, /*fld_path=*/false));

@@ -24,6 +24,12 @@
  * exactly-once / conservation verdicts into the same four-oracle
  * frame, with per-flow digest equality as the differential check.
  *
+ * An RpcServe scenario runs the RPC tier (apps::run_rpc_scenario)
+ * FLD- and CPU-served over the identical seeded request streams; the
+ * differential check diffs per-connection folds of the per-request
+ * response digests, and the harness's shadow-oracle conformance /
+ * lifecycle / conservation verdicts fold in like ConnServe's.
+ *
  * End-to-end payload integrity (pattern verification) is checked
  * unconditionally — corrupted frames must be FCS-dropped, never
  * delivered damaged.
@@ -107,6 +113,7 @@ class FuzzRunner
     FuzzRunDigest run_eth(const sim::FuzzScenario& s, bool fld_path);
     FuzzRunDigest run_rdma(const sim::FuzzScenario& s);
     FuzzRunDigest run_conn(const sim::FuzzScenario& s, bool fld_mode);
+    FuzzRunDigest run_rpc(const sim::FuzzScenario& s, bool fld_mode);
 
     PktGenConfig gen_config(const sim::FuzzScenario& s) const;
     TestbedConfig tb_config(const sim::FuzzScenario& s) const;

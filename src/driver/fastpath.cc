@@ -385,7 +385,8 @@ FastPath::doorbell(uint32_t app)
                 // Record before enqueueing: a harness tx hook may
                 // complete the exchange synchronously.
                 c->tx_records_.push_back(
-                    {c->snd_nxt_ + d.len, d.len});
+                    {c->snd_nxt_ + d.len, d.len, d.tag,
+                     (d.flags & kDescFlagTxTag) != 0});
                 enqueue_stream(*c, a.tx_arena.data() + d.addr, d.len,
                                (d.flags & kDescFlagPush) != 0);
             }
@@ -404,7 +405,7 @@ FastPath::stream_send(uint32_t conn_id, const uint8_t* data, size_t len)
         return 0;
     if (c->app_ != kNoApp)
         c->tx_records_.push_back(
-            {c->snd_nxt_ + uint32_t(len), uint32_t(len)});
+            {c->snd_nxt_ + uint32_t(len), uint32_t(len), 0, false});
     enqueue_stream(*c, data, len, /*push=*/true);
     return len;
 }
@@ -956,19 +957,35 @@ FastPath::report_tx_done(Connection& c)
         c.tx_records_.clear();
         return;
     }
+    // Coalesce plain records into one aggregate bump, but flush the
+    // pending aggregate and emit a dedicated completion whenever a
+    // tagged record retires, so the tag's position in the delivery
+    // order is exact.
+    auto emit_bump = [&](uint32_t bytes, uint32_t tag, bool tagged) {
+        ParkedRx item;
+        item.conn_id = c.id_;
+        item.type = kDescTxDone;
+        item.len = bytes;
+        item.tag = tag;
+        item.tagged = tagged;
+        park_or_post(c.app_, std::move(item));
+    };
     uint32_t bytes = 0;
     while (!c.tx_records_.empty() &&
            seq_le(c.tx_records_.front().end_seq, c.snd_una_)) {
-        bytes += c.tx_records_.front().bytes;
+        const Connection::TxRecord& rec = c.tx_records_.front();
+        if (rec.tagged) {
+            if (bytes)
+                emit_bump(bytes, 0, false);
+            bytes = 0;
+            emit_bump(rec.bytes, rec.tag, true);
+        } else {
+            bytes += rec.bytes;
+        }
         c.tx_records_.pop_front();
     }
-    if (!bytes)
-        return;
-    ParkedRx item;
-    item.conn_id = c.id_;
-    item.type = kDescTxDone;
-    item.len = bytes;
-    park_or_post(c.app_, std::move(item));
+    if (bytes)
+        emit_bump(bytes, 0, false);
 }
 
 void
@@ -1001,9 +1018,15 @@ FastPath::try_post_rx(uint32_t app, const ParkedRx& item)
         ++stats_.rx_descs;
     } else {
         d.len = item.len;
+        if (item.tagged) {
+            d.tag = item.tag;
+            d.flags = kDescFlagTxTag;
+        }
         if (!a.rx.post(d))
             return false;
         ++stats_.tx_done_descs;
+        if (item.tagged)
+            ++stats_.tagged_tx_done_descs;
     }
     notify_app(app);
     return true;

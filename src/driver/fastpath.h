@@ -63,6 +63,15 @@ constexpr uint8_t kDescTxDone = 2;
 
 /** Descriptor flags (RingDesc::flags). */
 constexpr uint16_t kDescFlagPush = 0x1; ///< TX: PSH the final segment
+/**
+ * TX: request a *tagged* completion for this descriptor. Instead of
+ * being coalesced into the next aggregate TxDone bump, the descriptor
+ * gets its own kDescTxDone entry echoing RingDesc::tag once its last
+ * byte is acknowledged end-to-end. The RPC tier tags the final
+ * descriptor of each response so response completion (not just byte
+ * counts) is visible on the ring.
+ */
+constexpr uint16_t kDescFlagTxTag = 0x2;
 
 /**
  * One ring entry, modeled on flextcp's 64 B queue entries: an opaque
@@ -75,6 +84,7 @@ struct RingDesc
     uint64_t opaque = 0; ///< connection id
     uint64_t addr = 0;   ///< offset into the owning app's arena
     uint32_t len = 0;
+    uint32_t tag = 0;    ///< app cookie echoed by tagged completions
     uint16_t flags = 0;
     uint8_t type = kDescInvalid;
     uint8_t nic_own = 0; ///< 1 while the consumer side owns the entry
@@ -296,6 +306,8 @@ class Connection
     {
         uint32_t end_seq = 0;
         uint32_t bytes = 0;
+        uint32_t tag = 0;
+        bool tagged = false; ///< emit an own TxDone echoing `tag`
     };
     std::deque<TxRecord> tx_records_;
 
@@ -353,6 +365,7 @@ struct FastPathStats
     uint64_t tx_descs = 0;      ///< data descriptors consumed
     uint64_t rx_descs = 0;      ///< data descriptors delivered
     uint64_t tx_done_descs = 0;
+    uint64_t tagged_tx_done_descs = 0; ///< subset echoing an app tag
     uint64_t rx_ring_stalls = 0;   ///< deliveries parked on a full ring
     uint64_t driver_backpressure = 0; ///< frames queued on driver refusal
 };
@@ -450,6 +463,8 @@ class FastPath
         uint8_t type = kDescData;
         std::vector<uint8_t> bytes; ///< empty for kDescTxDone
         uint32_t len = 0;           ///< TxDone byte count
+        uint32_t tag = 0;           ///< tagged TxDone cookie
+        bool tagged = false;
     };
 
     struct AppContext

@@ -19,6 +19,8 @@ to_string(FuzzMode mode)
         return "rdma-echo";
     case FuzzMode::ConnServe:
         return "conn-serve";
+    case FuzzMode::RpcServe:
+        return "rpc-serve";
     }
     return "?";
 }
@@ -69,6 +71,14 @@ FuzzScenario::to_string() const
     os << "conn_churn_cycles = " << conn.churn_cycles << "\n";
     os << "conn_rto_us = " << conn.rto_us << "\n";
     os << "conn_fault_target_port = " << conn.fault_target_port << "\n";
+    os << "rpc_connections = " << rpc.connections << "\n";
+    os << "rpc_requests = " << rpc.requests << "\n";
+    os << "rpc_payload_min = " << rpc.payload_min << "\n";
+    os << "rpc_payload_max = " << rpc.payload_max << "\n";
+    os << "rpc_methods_mask = " << rpc.methods_mask << "\n";
+    os << "rpc_workers = " << rpc.workers << "\n";
+    os << "rpc_think_us = " << rpc.think_us << "\n";
+    os << "rpc_chunk_bytes = " << rpc.chunk_bytes << "\n";
     return os.str();
 }
 
@@ -76,6 +86,19 @@ std::string
 FuzzScenario::summary() const
 {
     std::ostringstream os;
+    if (workload.mode == FuzzMode::RpcServe) {
+        os << "rpc-serve conns=" << rpc.connections
+           << " reqs=" << rpc.requests << " payload=" << rpc.payload_min
+           << ".." << rpc.payload_max << "B methods=0x" << std::hex
+           << rpc.methods_mask << std::dec << " workers=" << rpc.workers
+           << " think=" << rpc.think_us << "us";
+        if (rpc.chunk_bytes)
+            os << " chunk=" << rpc.chunk_bytes;
+        if (conn.fault_target_port)
+            os << " target=" << conn.fault_target_port;
+        os << (has_faults() ? " faulty" : " fault-free");
+        return os.str();
+    }
     if (workload.mode == FuzzMode::ConnServe) {
         os << "conn-serve conns=" << conn.connections
            << " reqs=" << conn.requests << "x" << conn.request_bytes
@@ -290,6 +313,33 @@ ScenarioFuzzer::generate(uint64_t seed) const
         s.workload.mode = FuzzMode::ConnServe;
         // The TCP stack owns segmentation, pacing and loop shape; the
         // echo workload fields and eSwitch/offload knobs do not apply.
+        s.workload.imc_mix = false;
+        s.workload.flows = 1;
+        s.vxlan = false;
+        s.shaper_gbps = 0.0;
+    }
+
+    // ---- RPC workload ------------------------------------------------
+    // Appended after every pre-existing draw (ordering note at the
+    // top), and again drawn for every seed so `fld_fuzz --rpc` can
+    // force-serve any seed's RPC shape.
+    bool rpc_serve = rng.chance(0.25);
+    s.rpc.connections = uint32_t(rng.range(1, 32));
+    s.rpc.requests = uint32_t(rng.range(1, 6));
+    s.rpc.payload_min = uint32_t(rng.range(1, 64));
+    s.rpc.payload_max =
+        s.rpc.payload_min + uint32_t(rng.range(0, 960));
+    s.rpc.methods_mask = uint32_t(rng.range(1, 15));
+    s.rpc.workers = uint32_t(rng.range(1, 8));
+    s.rpc.think_us = rng.chance(0.5) ? uint32_t(rng.range(1, 10)) : 0;
+    s.rpc.chunk_bytes =
+        rng.chance(0.4) ? uint32_t(rng.range(16, 256)) : 0;
+    if (rpc_serve) {
+        s.workload.mode = FuzzMode::RpcServe;
+        // Same knob neutralization as ConnServe: TCP owns the loop.
+        // The fault-concentration port stays in the AppEmu range here;
+        // the runner remaps it onto the RPC client range so seeds
+        // forced to RpcServe by `fld_fuzz --rpc` behave identically.
         s.workload.imc_mix = false;
         s.workload.flows = 1;
         s.vxlan = false;
@@ -546,6 +596,67 @@ ScenarioShrinker::shrink(const FuzzScenario& failing)
         },
         [](FuzzScenario& s) {
             if (s.workload.mode != FuzzMode::ConnServe ||
+                s.conn.fault_target_port == 0)
+                return false;
+            s.conn.fault_target_port = 0;
+            return true;
+        },
+        // RPC-workload reductions (RpcServe scenarios only).
+        [](FuzzScenario& s) {
+            if (s.workload.mode != FuzzMode::RpcServe ||
+                s.rpc.connections <= 1)
+                return false;
+            s.rpc.connections = std::max(1u, s.rpc.connections / 2);
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (s.workload.mode != FuzzMode::RpcServe ||
+                s.rpc.requests <= 1)
+                return false;
+            s.rpc.requests = 1;
+            return true;
+        },
+        // Fixed minimal payloads first, then echo-only methods: the
+        // accel-backed handlers (zuc/defrag/busy) are the most likely
+        // suspects, so peel them off one step at a time.
+        [](FuzzScenario& s) {
+            if (s.workload.mode != FuzzMode::RpcServe ||
+                (s.rpc.payload_min == 16 && s.rpc.payload_max == 16))
+                return false;
+            s.rpc.payload_min = 16;
+            s.rpc.payload_max = 16;
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (s.workload.mode != FuzzMode::RpcServe ||
+                s.rpc.methods_mask == 0x1)
+                return false;
+            s.rpc.methods_mask = 0x1; // echo only
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (s.workload.mode != FuzzMode::RpcServe ||
+                s.rpc.chunk_bytes == 0)
+                return false;
+            s.rpc.chunk_bytes = 0;
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (s.workload.mode != FuzzMode::RpcServe ||
+                s.rpc.think_us == 0)
+                return false;
+            s.rpc.think_us = 0;
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (s.workload.mode != FuzzMode::RpcServe ||
+                s.rpc.workers <= 1)
+                return false;
+            s.rpc.workers = 1;
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (s.workload.mode != FuzzMode::RpcServe ||
                 s.conn.fault_target_port == 0)
                 return false;
             s.conn.fault_target_port = 0;

@@ -41,6 +41,7 @@ enum class FuzzMode : uint8_t {
     EthEcho,  ///< FLD-E echo AFU vs CPU testpmd echo (differential)
     RdmaEcho, ///< FLD-R echo over the RC transport (exactly-once)
     ConnServe,///< host fast path TCP workload, FLD- vs CPU-served
+    RpcServe, ///< RPC tier over the fast path, FLD- vs CPU-served
 };
 
 const char* to_string(FuzzMode mode);
@@ -85,6 +86,28 @@ struct ConnWorkload
 };
 
 /**
+ * RPC-workload shape for FuzzMode::RpcServe scenarios: RpcClientPool
+ * opens TCP connections to an RpcServer behind the host fast path and
+ * runs closed-loop length-prefixed requests against the accel-backed
+ * method set (see apps/rpc_service.h). Like ConnWorkload, every
+ * generated scenario carries valid rpc fields regardless of mode so
+ * `fld_fuzz --rpc` can force-serve any seed.
+ */
+struct RpcWorkload
+{
+    uint32_t connections = 8;
+    uint32_t requests = 4;     ///< requests per connection
+    uint32_t payload_min = 64;
+    uint32_t payload_max = 512;
+    /** Bit i enables RPC method id i (echo/zuc/defrag/busy). */
+    uint32_t methods_mask = 0xf;
+    uint32_t workers = 8;      ///< dispatcher worker bank width
+    uint32_t think_us = 5;     ///< mean exponential think time
+    /** Client-side TX descriptor chunking (0 = whole slots). */
+    uint32_t chunk_bytes = 0;
+};
+
+/**
  * One randomized run, fully described. Field defaults are the
  * testbed defaults, so a default-constructed scenario reproduces the
  * calibrated fault-free setup and `reset to defaults` shrink passes
@@ -96,6 +119,7 @@ struct FuzzScenario
 
     FuzzWorkload workload;
     ConnWorkload conn; ///< used when workload.mode == ConnServe
+    RpcWorkload rpc;   ///< used when workload.mode == RpcServe
 
     // -- receiver geometry ---------------------------------------------
     uint32_t echo_queues = 1;    ///< CPU echo server RSS width

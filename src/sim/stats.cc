@@ -64,6 +64,13 @@ Histogram::percentile(double pct) const
     return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
 }
 
+double
+Histogram::p(double q) const
+{
+    q = std::clamp(q, 0.0, 1.0);
+    return percentile(q * 100.0);
+}
+
 void
 Histogram::clear()
 {

@@ -41,6 +41,14 @@ class Histogram
     double percentile(double pct) const;
     double median() const { return percentile(50.0); }
 
+    /**
+     * Quantile for arbitrary q in [0, 1] (q is clamped), e.g. p(0.999)
+     * for the 99.9th percentile. Same interpolation and empty-set NaN
+     * semantics as percentile(); the two agree exactly at
+     * p(q) == percentile(100 * q).
+     */
+    double p(double q) const;
+
     void clear();
 
     /** "mean=... p50=... p99=... p99.9=..." summary string. */

@@ -15,6 +15,7 @@
 #include <set>
 #include <tuple>
 
+#include "apps/app_emu.h"
 #include "driver/fastpath.h"
 #include "net/headers.h"
 #include "sim/event_queue.h"
@@ -241,6 +242,152 @@ TEST(FastPathConn, FourTupleReuseRejectedWhileLive)
               FastPath::kNoConn)
         << "same 4-tuple must be rejected while the conn lives";
     p.eq.run();
+}
+
+// ---------------------------------------------------------------------
+// Time-wait and teardown-race edge cases
+// ---------------------------------------------------------------------
+
+TEST(FastPathConn, RstDuringTimeWaitIgnored)
+{
+    DirectPair p;
+    uint32_t capp = p.client.register_app(8, 8, [] {});
+    uint32_t sapp = p.server.register_app(8, 8, [] {});
+    p.server.listen(kListenPort, sapp);
+    uint32_t c = p.client.open(capp, 0, kServerIp, kListenPort, 20000);
+    p.eq.run();
+    ASSERT_EQ(p.client.conn(c)->state(), ConnState::Established);
+
+    // Active close: the client lingers in Closed (time-wait) for
+    // rto * time_wait_rtos before the slot is freed. Stop the clock
+    // inside that window.
+    p.client.close(c);
+    p.eq.run_until(p.eq.now() + sim::microseconds(50));
+    ASSERT_NE(p.client.conn(c), nullptr);
+    ASSERT_EQ(p.client.conn(c)->state(), ConnState::Closed);
+    while (p.client.poll_ctrl(capp)) {
+    } // swallow Opened/Closed; anything after the RST is unexpected
+    uint64_t resets_before = p.client.stats().conns_reset;
+
+    // A stray RST aimed at the lingering tuple (stale segment from an
+    // old incarnation) must neither resurrect the connection nor
+    // signal a spurious Reset to the app.
+    p.client.on_rx(net::PacketBuilder()
+                       .eth(kSrvMac, kCliMac)
+                       .ipv4(kServerIp, kClientIp, net::kIpProtoTcp)
+                       .tcp(kListenPort, 20000, /*seq=*/1, /*ack=*/1,
+                            /*RST|ACK*/ 0x14)
+                       .build());
+    ASSERT_NE(p.client.conn(c), nullptr);
+    EXPECT_EQ(p.client.conn(c)->state(), ConnState::Closed);
+    EXPECT_EQ(p.client.stats().conns_reset, resets_before);
+    EXPECT_FALSE(p.client.poll_ctrl(capp).has_value())
+        << "a time-wait RST must not produce a ctrl message";
+
+    // The linger still expires on schedule and frees the slot.
+    p.eq.run();
+    EXPECT_EQ(p.client.live_conns(), 0u);
+    EXPECT_TRUE(p.client.quiesced());
+}
+
+TEST(FastPathConn, FourTupleReuseAfterTimeWaitExpiry)
+{
+    driver::ConnConfig conn;
+    conn.rto = sim::microseconds(100); // linger = 4 rtos = 400 us
+    DirectPair p(conn);
+    uint32_t capp = p.client.register_app(8, 8, [] {});
+    uint32_t sapp = p.server.register_app(8, 8, [] {});
+    p.server.listen(kListenPort, sapp);
+
+    uint32_t c = p.client.open(capp, 0, kServerIp, kListenPort, 20000);
+    p.eq.run();
+    p.client.close(c);
+    p.eq.run_until(p.eq.now() + sim::microseconds(50));
+    ASSERT_EQ(p.client.conn(c)->state(), ConnState::Closed);
+
+    // Still lingering: the demux entry is occupied, reuse is refused.
+    EXPECT_EQ(p.client.open(capp, 1, kServerIp, kListenPort, 20000),
+              FastPath::kNoConn)
+        << "4-tuple reuse must be rejected during time-wait";
+
+    // Let the linger expire; the exact same tuple then opens cleanly.
+    p.eq.run();
+    EXPECT_EQ(p.client.live_conns(), 0u);
+    uint32_t c2 =
+        p.client.open(capp, 2, kServerIp, kListenPort, 20000);
+    ASSERT_NE(c2, FastPath::kNoConn);
+    p.eq.run();
+    ASSERT_NE(p.client.conn(c2), nullptr);
+    EXPECT_EQ(p.client.conn(c2)->state(), ConnState::Established);
+    EXPECT_EQ(p.server.stats().conns_accepted, 2u);
+}
+
+TEST(FastPathConn, ClosedCtrlRacesTxFullRetryInAppEmu)
+{
+    // A 2-entry TX ring shared by 16 closed-loop connections keeps
+    // most slots parked on AppEmu's send queue. The server closes one
+    // connection the moment it accepts it, so that slot's Closed ctrl
+    // lands while its first request is still waiting for ring space —
+    // the retry drain must re-validate and skip the dead slot instead
+    // of posting onto a closed connection.
+    DirectPair p;
+    uint32_t sapp = p.server.register_app(8, 1024, [] {});
+    p.server.listen(kListenPort, sapp);
+
+    apps::AppEmuConfig acfg;
+    acfg.connections = 16;
+    acfg.requests_per_conn = 3;
+    acfg.request_bytes = 256;
+    acfg.tx_ring_entries = 2;
+    acfg.rx_ring_entries = 64;
+    acfg.remote_ip = kServerIp;
+    acfg.remote_port = kListenPort;
+    apps::AppEmu app(p.eq, p.client, acfg);
+
+    const uint16_t target = 20010; // deep enough to be parked
+    std::map<uint32_t, uint16_t> port_of;
+    std::map<uint16_t, uint64_t> delivered;
+    std::function<void()> pump = [&] {
+        while (auto m = p.server.poll_ctrl(sapp)) {
+            if (m->type == CtrlMsg::Type::Accepted) {
+                port_of[m->conn_id] = m->key.remote_port;
+                if (m->key.remote_port == target)
+                    p.server.close(m->conn_id);
+            }
+        }
+        for (const auto& [conn, bytes] : drain_rx(p.server, sapp))
+            delivered[port_of[conn]] += bytes;
+        if (p.eq.now() < sim::microseconds(3000))
+            p.eq.schedule_in(sim::microseconds(10), pump);
+    };
+    p.eq.schedule_in(sim::microseconds(10), pump);
+
+    app.start();
+    p.eq.run();
+
+    // Every incarnation reached a terminal state — the early Closed
+    // did not wedge its slot (or the shared send queue) forever.
+    EXPECT_TRUE(app.done());
+    uint32_t closed_clean = 0;
+    for (const apps::ConnOutcome& out : app.outcomes()) {
+        SCOPED_TRACE("port " + std::to_string(out.local_port));
+        EXPECT_TRUE(out.opened);
+        EXPECT_TRUE(out.closed || out.reset);
+        if (out.local_port == target)
+            continue; // may have sent anything from 0 to all requests
+        EXPECT_TRUE(out.closed);
+        EXPECT_EQ(out.sent_bytes, 3u * 256u);
+        EXPECT_EQ(out.acked_bytes, out.sent_bytes);
+        EXPECT_EQ(delivered[out.local_port], out.sent_bytes);
+        ++closed_clean;
+    }
+    EXPECT_EQ(closed_clean, 15u);
+
+    // Nothing leaked: all descriptors handed back, nothing in flight.
+    EXPECT_TRUE(p.client.tx_ring(app.app_id()).all_released());
+    EXPECT_TRUE(p.client.rx_ring(app.app_id()).all_released());
+    EXPECT_TRUE(p.client.quiesced());
+    EXPECT_TRUE(p.server.quiesced());
 }
 
 // ---------------------------------------------------------------------

@@ -42,10 +42,12 @@ TEST(ScenarioFuzzerTest, GeneratedScenariosStayInEnvelope)
             // The IMC mixture draws sizes itself and needs a full MTU.
             EXPECT_EQ(s.workload.bytes, 0u);
             EXPECT_EQ(s.mtu, 1500u);
-        } else if (s.workload.mode != FuzzMode::ConnServe) {
-            // Conn-serve flips imc_mix off without re-drawing bytes —
-            // the eth size knobs are inert there (ConnWorkload drives
-            // the harness) — so the floor only binds for eth/RDMA.
+        } else if (s.workload.mode != FuzzMode::ConnServe &&
+                   s.workload.mode != FuzzMode::RpcServe) {
+            // Conn-serve and rpc-serve flip imc_mix off without
+            // re-drawing bytes — the eth size knobs are inert there
+            // (ConnWorkload / RpcWorkload drive those harnesses) — so
+            // the floor only binds for eth/RDMA.
             EXPECT_GE(s.workload.bytes, 64u);
             EXPECT_LE(s.workload.bytes, s.mtu);
         }

@@ -69,6 +69,71 @@ TEST(Histogram, PercentileRecoversAfterClear)
     EXPECT_DOUBLE_EQ(h.median(), 3.0);
 }
 
+TEST(Histogram, QuantileMatchesPercentile)
+{
+    Histogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.add(double(i));
+    // p(q) and percentile(100q) are the same function.
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0})
+        EXPECT_DOUBLE_EQ(h.p(q), h.percentile(q * 100.0)) << q;
+    // Interpolated p99.9 of the 1..1000 ramp: rank 0.999*999=998.001.
+    EXPECT_NEAR(h.p(0.999), 999.001, 1e-9);
+    EXPECT_DOUBLE_EQ(h.p(0.5), h.median());
+}
+
+TEST(Histogram, QuantileEmptyIsNan)
+{
+    Histogram h;
+    EXPECT_TRUE(std::isnan(h.p(0.0)));
+    EXPECT_TRUE(std::isnan(h.p(0.999)));
+    EXPECT_TRUE(std::isnan(h.p(1.0)));
+}
+
+TEST(Histogram, QuantileSingleSample)
+{
+    Histogram h;
+    h.add(42.0);
+    // Every quantile of a one-sample distribution is that sample.
+    for (double q : {0.0, 0.001, 0.5, 0.999, 1.0})
+        EXPECT_DOUBLE_EQ(h.p(q), 42.0) << q;
+}
+
+TEST(Histogram, QuantileInterpolatesBetweenSamples)
+{
+    Histogram h;
+    h.add(10.0);
+    h.add(20.0);
+    EXPECT_DOUBLE_EQ(h.p(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.p(0.5), 15.0);
+    EXPECT_DOUBLE_EQ(h.p(0.75), 17.5);
+    EXPECT_DOUBLE_EQ(h.p(0.999), 19.99);
+    EXPECT_DOUBLE_EQ(h.p(1.0), 20.0);
+}
+
+TEST(Histogram, QuantileClampsOutOfRangeQ)
+{
+    Histogram h;
+    h.add(1.0);
+    h.add(2.0);
+    // Out-of-range q clamps to the extremes instead of reading out of
+    // bounds.
+    EXPECT_DOUBLE_EQ(h.p(-0.5), 1.0);
+    EXPECT_DOUBLE_EQ(h.p(1.5), 2.0);
+}
+
+TEST(Histogram, TailQuantileSeparatesOutlier)
+{
+    Histogram h;
+    for (int i = 0; i < 999; ++i)
+        h.add(1.0);
+    h.add(1000.0); // one straggler in a thousand
+    EXPECT_DOUBLE_EQ(h.p(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(h.p(0.99), 1.0);
+    EXPECT_GT(h.p(0.999), 1.0); // p99.9 sees the tail
+    EXPECT_DOUBLE_EQ(h.p(1.0), 1000.0);
+}
+
 TEST(Histogram, StddevOfKnownSet)
 {
     Histogram h;

@@ -11,7 +11,7 @@
  * Usage:
  *   fld_fuzz [--seeds=N] [--seed0=S] [--budget=120s] [--jobs=N]
  *            [--replay=SEED] [--artifacts=DIR] [--no-trace]
- *            [--churn=N] [--conn=N]
+ *            [--churn=N] [--conn=N] [--rpc=N]
  *
  *   --churn=N       control-plane mode: N seeds of randomized
  *                   many-tenant churn scenarios (sim::ChurnGen)
@@ -23,6 +23,11 @@
  *                   draws), run FLD-served vs CPU-served through the
  *                   fastpath harness oracles; failures shrink and
  *                   write artifacts exactly like datapath mode
+ *   --rpc=N         RPC-workload mode: N seeds, each forced to
+ *                   FuzzMode::RpcServe (every seed carries valid rpc
+ *                   draws), run FLD-served vs CPU-served through the
+ *                   RPC harness; the differential oracle diffs
+ *                   per-request response digests across the modes
  *   --seeds=N       run N consecutive seeds (default 100)
  *   --seed0=S       first seed (default 1)
  *   --budget=T      stop after T wall-clock seconds (e.g. 120s);
@@ -67,6 +72,7 @@ struct CliOptions
     bool trace = true;
     uint64_t churn = 0; ///< >0: churn mode, N seeds
     uint64_t conn = 0;  ///< >0: connection-workload mode, N seeds
+    uint64_t rpc = 0;   ///< >0: RPC-workload mode, N seeds
 };
 
 bool
@@ -95,6 +101,8 @@ parse_args(int argc, char** argv, CliOptions& o)
             o.churn = std::strtoull(v, nullptr, 0);
         else if (const char* v = val("--conn="))
             o.conn = std::strtoull(v, nullptr, 0);
+        else if (const char* v = val("--rpc="))
+            o.rpc = std::strtoull(v, nullptr, 0);
         else if (a == "--no-trace")
             o.trace = false;
         else {
@@ -162,6 +170,9 @@ report_failure(const CliOptions& o, apps::FuzzRunner& runner,
     if (failing.workload.mode == sim::FuzzMode::ConnServe)
         std::printf("replay with: fld_fuzz --conn=1 --seed0=%llu\n",
                     (unsigned long long)failing.seed);
+    else if (failing.workload.mode == sim::FuzzMode::RpcServe)
+        std::printf("replay with: fld_fuzz --rpc=1 --seed0=%llu\n",
+                    (unsigned long long)failing.seed);
     else
         std::printf("replay with: fld_fuzz --replay=%llu\n",
                     (unsigned long long)failing.seed);
@@ -196,6 +207,35 @@ run_conn_mode(const CliOptions& o)
     }
     std::printf("all %llu conn seeds clean\n",
                 (unsigned long long)o.conn);
+    return 0;
+}
+
+/**
+ * RPC-workload sweep: like run_conn_mode, but forcing RpcServe — the
+ * rpc-shape draws sit at the very tail of the generator's draw order,
+ * so any seed replays identically with the mode forced.
+ */
+int
+run_rpc_mode(const CliOptions& o)
+{
+    sim::ScenarioFuzzer fuzzer;
+    apps::FuzzRunner runner = make_runner(o);
+    for (uint64_t i = 0; i < o.rpc; ++i) {
+        uint64_t seed = o.seed0 + i;
+        sim::FuzzScenario s = fuzzer.generate(seed);
+        s.workload.mode = sim::FuzzMode::RpcServe;
+        apps::FuzzVerdict v = runner.run(s);
+        if (!v.ok)
+            return report_failure(o, runner, s, v);
+        if ((i + 1) % 10 == 0 || i + 1 == o.rpc)
+            std::printf("[%llu/%llu] rpc seed %llu ok: %s\n",
+                        (unsigned long long)(i + 1),
+                        (unsigned long long)o.rpc,
+                        (unsigned long long)seed,
+                        s.summary().c_str());
+    }
+    std::printf("all %llu rpc seeds clean\n",
+                (unsigned long long)o.rpc);
     return 0;
 }
 
@@ -281,6 +321,8 @@ main(int argc, char** argv)
         return run_churn_mode(o);
     if (o.conn > 0)
         return run_conn_mode(o);
+    if (o.rpc > 0)
+        return run_rpc_mode(o);
 
     sim::ScenarioFuzzer fuzzer;
     apps::FuzzRunner runner = make_runner(o);
