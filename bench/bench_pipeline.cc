@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Compiled-pipeline lookup bench (ROADMAP item 4 acceptance gate).
+ *
+ * At each ruleset size the bench installs an eSwitch-shaped ruleset
+ * (VXLAN termination, tenant tag chains, dport steering, a wildcard
+ * floor) into the fixed FlowTables interpreter, compiles the same
+ * rules into the flat Pipeline program via config_from, and times
+ * both engines over one pre-extracted field stream. Every stream
+ * element is also cross-checked: the two engines must resolve to the
+ * same rule — the bench doubles as a conformance check.
+ *
+ * Results go to BENCH_PIPELINE.json (override with --out=PATH) so CI
+ * can archive and trend them. The exit code is non-zero when any
+ * point disagrees or when the compiled engine falls more than 1.2x
+ * behind the fixed interpreter (the flat form exists to be at least
+ * competitive; regressing past that bound is a build breaker).
+ *
+ * Usage: bench_pipeline [--out=PATH] [--fields=N] [--seconds=S]
+ */
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "net/headers.h"
+#include "nic/pipeline.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace fld;
+using namespace fld::nic;
+
+/** eSwitch-shaped ruleset: @p rules total across tables 0 and 3. */
+FlowTables
+make_ruleset(uint32_t rules, fld::Rng& rng)
+{
+    FlowTables t;
+    // VXLAN termination + wildcard floor, as the echo scenarios
+    // install them.
+    FlowMatch vx;
+    vx.in_vport = kUplinkVport;
+    vx.dport = net::kVxlanPort;
+    t.add_rule(0, 1000, vx, {vxlan_decap(), fwd_tir(1)});
+    t.add_rule(0, 1, {}, {fwd_tir(1)});
+    for (uint32_t i = 2; i < rules; ++i) {
+        FlowMatch m;
+        m.in_vport = kUplinkVport;
+        std::vector<Action> acts;
+        switch (i % 3) {
+        case 0: // tenant tag chain: tag + count, resolve in table 3
+            m.dport = uint16_t(1000 + i);
+            acts = {set_tag(i), count_action(i), goto_table(3)};
+            break;
+        case 1: // plain dport steering
+            m.dport = uint16_t(1000 + i);
+            acts = {fwd_queue(i % 8)};
+            break;
+        default: // src-scoped drop
+            m.src_ip = uint32_t(rng.next());
+            acts = {drop_action()};
+            break;
+        }
+        t.add_rule(0, int(10 + i % 50), m, std::move(acts));
+    }
+    FlowMatch tagged;
+    tagged.flow_tag = 0; // never set on extracted fields: miss floor
+    t.add_rule(3, 1, tagged, {fwd_queue(0)});
+    return t;
+}
+
+/** Pre-extracted field stream biased so hits and misses both occur. */
+std::vector<FlowFields>
+make_stream(uint32_t n, uint32_t rules, fld::Rng& rng)
+{
+    std::vector<FlowFields> fields(n);
+    for (auto& f : fields) {
+        f.in_vport = kUplinkVport;
+        f.ethertype = net::kEtherTypeIpv4;
+        f.ip_proto = net::kIpProtoUdp;
+        f.src_ip = uint32_t(rng.next());
+        f.dst_ip = uint32_t(rng.next());
+        f.sport = uint16_t(rng.uniform(0xffff));
+        f.dport = rng.chance(0.5)
+                      ? uint16_t(1000 + rng.uniform(rules))
+                      : uint16_t(rng.uniform(0xffff));
+        f.has_l4 = true;
+    }
+    return fields;
+}
+
+struct PointResult
+{
+    uint32_t rules = 0;
+    double fixed_rate = 0;    ///< FlowTables lookups per second
+    double compiled_rate = 0; ///< Pipeline lookups per second
+    uint64_t mismatches = 0;
+    bool ok = false;
+};
+
+double
+elapsed_sec(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+PointResult
+run_point(uint32_t rules, uint32_t nfields, double seconds)
+{
+    PointResult r;
+    r.rules = rules;
+    fld::Rng rng(0xbe9c + rules);
+    FlowTables flows = make_ruleset(rules, rng);
+    Pipeline pipe(Pipeline::config_from(flows));
+    std::vector<FlowFields> stream = make_stream(nfields, rules, rng);
+
+    // Conformance sweep first: same winner everywhere.
+    for (const FlowFields& f : stream) {
+        FlowRule* fr = flows.lookup(0, f);
+        CompiledEntry* ce = pipe.lookup(0, f);
+        uint64_t a = fr ? fr->id : 0;
+        uint64_t b = ce ? ce->rule_id : 0;
+        if (a != b)
+            r.mismatches++;
+    }
+
+    // Throughput: repeat full passes until the time budget is spent.
+    uint64_t sink = 0, fixed_lookups = 0, compiled_lookups = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    do {
+        for (const FlowFields& f : stream)
+            sink += flows.lookup(0, f) != nullptr;
+        fixed_lookups += stream.size();
+    } while (elapsed_sec(t0) < seconds);
+    double fixed_sec = elapsed_sec(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    do {
+        for (const FlowFields& f : stream)
+            sink += pipe.lookup(0, f) != nullptr;
+        compiled_lookups += stream.size();
+    } while (elapsed_sec(t0) < seconds);
+    double compiled_sec = elapsed_sec(t0);
+
+    if (sink == 0) // keep the loops honest without volatile
+        std::fprintf(stderr, "no lookup ever matched\n");
+
+    r.fixed_rate = double(fixed_lookups) / fixed_sec;
+    r.compiled_rate = double(compiled_lookups) / compiled_sec;
+    r.ok = r.mismatches == 0 &&
+           r.compiled_rate * 1.2 >= r.fixed_rate;
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string out = "BENCH_PIPELINE.json";
+    uint32_t nfields = 20'000;
+    double seconds = 0.25;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--out=", 6) == 0)
+            out = argv[i] + 6;
+        else if (std::strncmp(argv[i], "--fields=", 9) == 0)
+            nfields = uint32_t(std::strtoul(argv[i] + 9, nullptr, 0));
+        else if (std::strncmp(argv[i], "--seconds=", 10) == 0)
+            seconds = std::strtod(argv[i] + 10, nullptr);
+    }
+
+    bench::banner("Compiled pipeline lookup",
+                  "flat program vs fixed eSwitch interpreter");
+
+    std::vector<PointResult> results;
+    bool all_ok = true;
+    for (uint32_t rules : {4u, 16u, 64u, 256u}) {
+        PointResult r = run_point(rules, nfields, seconds);
+        results.push_back(r);
+        all_ok = all_ok && r.ok;
+        bench::note(strfmt(
+            "%4u rules: fixed %7.2f Mlookups/s, compiled %7.2f "
+            "Mlookups/s (%.2fx)%s%s",
+            rules, r.fixed_rate / 1e6, r.compiled_rate / 1e6,
+            r.compiled_rate / r.fixed_rate,
+            r.mismatches ? ", MISMATCHES" : "",
+            r.ok ? "" : "  ** FAIL **"));
+    }
+
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"pipeline\",\n  \"points\": [");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const PointResult& r = results[i];
+        std::fprintf(f,
+                     "%s\n    {\"rules\": %u, "
+                     "\"fixed_lookups_per_sec\": %.0f, "
+                     "\"compiled_lookups_per_sec\": %.0f, "
+                     "\"ratio\": %.3f, \"mismatches\": %" PRIu64
+                     ", \"ok\": %s}",
+                     i ? "," : "", r.rules, r.fixed_rate,
+                     r.compiled_rate, r.compiled_rate / r.fixed_rate,
+                     r.mismatches, r.ok ? "true" : "false");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    bench::note("wrote " + out);
+
+    return all_ok ? 0 : 2;
+}

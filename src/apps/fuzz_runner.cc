@@ -5,7 +5,9 @@
 
 #include "apps/fastpath_harness.h"
 #include "apps/rpc_harness.h"
+#include "nic/pipeline.h"
 #include "sim/trace.h"
+#include "util/rng.h"
 #include "util/strings.h"
 
 namespace fld::apps {
@@ -26,7 +28,130 @@ uint64_t
 nic_drops(const nic::NicStats& st)
 {
     return st.drops_no_buffer + st.drops_rule + st.drops_meter +
-           st.drops_no_rule;
+           st.drops_no_rule + st.drops_acl;
+}
+
+/**
+ * Materialize the scenario's random pipeline program on the echo
+ * server's NIC: compile the installed steering rules into the flat
+ * program, then splice a behavior-preserving decoration chain in
+ * front of them, seeded from pipeline.program_seed.
+ *
+ * The splice entry (table 0, priority above every scenario rule)
+ * catches untagged packets, tags and counts them, and jumps into a
+ * chain of decoration tables. Chain entries use masked/ternary keys
+ * around the workload's ports, bump counters, retag, optionally apply
+ * an identity dst-NAT or a single-backend VIP select (net no-ops that
+ * still exercise the rewrite datapath end to end), and always fall
+ * through — by entry goto or by the table's miss defaults — until the
+ * last table jumps back to table 0, where the now-nonzero tag skips
+ * the splice and the original rules deliver. ACL denies sit on a port
+ * the workload never uses. Identical programs are installed for the
+ * FLD and CPU runs, so the differential oracles judge the compiled
+ * engine end to end.
+ */
+void
+install_pipeline_decorations(nic::NicDevice& dev,
+                             const sim::FuzzScenario& s,
+                             const PktGenConfig& g)
+{
+    using namespace fld::nic;
+    Rng rng(s.pipeline.program_seed);
+    PipelineConfig cfg = Pipeline::config_from(dev.flows());
+
+    constexpr uint32_t kBaseTable = 200; // clear of scenario tables
+    constexpr uint32_t kTagBase = 0x9A0000;
+    constexpr uint32_t kCtrBase = 9000;
+    constexpr uint32_t kVipPool = 77;
+    constexpr uint16_t kAclPort = 7; // never used by the workload
+    const uint32_t ntab = std::clamp(s.pipeline.tables, 1u, 4u);
+    const uint32_t nent = std::clamp(s.pipeline.entries, 1u, 4u);
+    // NAT/VIP decorations match the request direction by destination
+    // ip, which on VXLAN scenarios would hit the outer header before
+    // decap; keep them to plain scenarios.
+    const bool nat_ok = s.pipeline.use_nat && !s.vxlan;
+    const bool vip_ok = s.pipeline.use_vip && !s.vxlan;
+
+    PipelineTableConfig* t0 = nullptr;
+    for (PipelineTableConfig& t : cfg.tables)
+        if (t.id == 0)
+            t0 = &t;
+    if (!t0) {
+        cfg.tables.push_back(PipelineTableConfig{});
+        t0 = &cfg.tables.back();
+    }
+    PipelineEntryConfig splice;
+    splice.priority = 1000;
+    splice.key.flow_tag = ternary_exact(0); // untagged packets only
+    splice.actions = {set_tag(kTagBase), count_action(kCtrBase),
+                      goto_table(kBaseTable)};
+    t0->entries.push_back(std::move(splice));
+
+    bool vip_used = false;
+    for (uint32_t i = 0; i < ntab; ++i) {
+        PipelineTableConfig t;
+        t.id = kBaseTable + i;
+        const uint32_t next = i + 1 < ntab ? kBaseTable + i + 1 : 0;
+        t.default_actions = {goto_table(next)};
+        for (uint32_t e = 0; e < nent; ++e) {
+            PipelineEntryConfig en;
+            en.priority = int(rng.range(0, 100));
+            switch (rng.uniform(4)) {
+            case 0:
+                break; // wildcard
+            case 1: {
+                static const uint32_t kMasks[] = {0xffff, 0xfff0,
+                                                  0xff00};
+                en.key.dport =
+                    ternary_masked(g.dport, kMasks[rng.uniform(3)]);
+                break;
+            }
+            case 2:
+                // Covers the whole base_sport..base_sport+63 flow
+                // range; echo-direction packets (swapped ports) miss.
+                en.key.sport = ternary_masked(g.base_sport, 0xffc0);
+                break;
+            default:
+                en.key.ethertype = ternary_exact(0x0800);
+                break;
+            }
+            en.actions.push_back(
+                count_action(kCtrBase + 1 + i * 8 + e));
+            if (rng.chance(0.5))
+                en.actions.push_back(set_tag(kTagBase + 1 + i * 8 + e));
+            if (nat_ok && rng.chance(0.5)) {
+                // Identity NAT: pin the key to the request direction,
+                // then rewrite to the very same destination.
+                en.key.dst_ip = ternary_exact(g.dst_ip);
+                if (rng.chance(0.5)) {
+                    en.key.dport = ternary_exact(g.dport);
+                    en.actions.push_back(nat_dst(g.dst_ip, g.dport));
+                } else {
+                    en.actions.push_back(nat_dst(g.dst_ip));
+                }
+            } else if (vip_ok && rng.chance(0.5)) {
+                // Single-backend VIP: the pool holds only the real
+                // destination, so the select is a net no-op.
+                en.key.dst_ip = ternary_exact(g.dst_ip);
+                en.actions.push_back(vip_select(kVipPool));
+                vip_used = true;
+            }
+            en.actions.push_back(goto_table(next));
+            t.entries.push_back(std::move(en));
+        }
+        if (s.pipeline.use_acl && rng.chance(0.5)) {
+            PipelineEntryConfig deny;
+            deny.priority = 500; // above every chain entry
+            deny.key.dport = ternary_exact(kAclPort);
+            deny.actions = {acl_deny(i)};
+            t.entries.push_back(std::move(deny));
+        }
+        cfg.tables.push_back(std::move(t));
+    }
+    if (vip_used)
+        cfg.pools.push_back(VipPoolConfig{kVipPool, {g.dst_ip}});
+
+    dev.set_pipeline_program(std::move(cfg));
 }
 
 void
@@ -141,9 +266,16 @@ FuzzRunner::run_eth(const sim::FuzzScenario& s, bool fld_path)
     PktGenConfig g = gen_config(s);
     TestbedConfig tbc = tb_config(s);
     EchoOptions eopt = echo_options(s);
+    // Pipeline dimension: both NICs steer through the compiled
+    // program; the server additionally gets the random decoration
+    // chain spliced in front of its rules (below).
+    if (s.pipeline.enabled)
+        tbc.nic.use_compiled_pipeline = true;
 
     auto drive = [&](Testbed& tb, PacketGen& gen,
                      driver::CpuDriver& gen_driver) {
+        if (s.pipeline.enabled)
+            install_pipeline_decorations(*tb.server_nic, s, g);
         if (s.shaper_gbps > 0)
             tb.client_nic->set_sq_rate(gen_driver.sqn(0),
                                        s.shaper_gbps);

@@ -70,6 +70,47 @@ drop_action()
     return {ActionType::Drop, 0, 0, 0, 0};
 }
 
+Action
+acl_deny(uint32_t acl_id)
+{
+    return {ActionType::AclDeny, acl_id, 0, 0, 0};
+}
+
+// NatRewrite packs its operands as: arg0 = flag bits (kNat* in
+// pipeline.h), arg1 = dst ip, arg2 = dport | (sport << 16), arg3 =
+// src ip. One action can carry a full src+dst rewrite.
+
+Action
+nat_dst(uint32_t new_dst_ip)
+{
+    return {ActionType::NatRewrite, 0x1, new_dst_ip, 0, 0};
+}
+
+Action
+nat_dst(uint32_t new_dst_ip, uint16_t new_dport)
+{
+    return {ActionType::NatRewrite, 0x1 | 0x2, new_dst_ip, new_dport, 0};
+}
+
+Action
+nat_src(uint32_t new_src_ip)
+{
+    return {ActionType::NatRewrite, 0x4, 0, 0, new_src_ip};
+}
+
+Action
+nat_src(uint32_t new_src_ip, uint16_t new_sport)
+{
+    return {ActionType::NatRewrite, 0x4 | 0x8, 0,
+            uint32_t(new_sport) << 16, new_src_ip};
+}
+
+Action
+vip_select(uint32_t pool_id)
+{
+    return {ActionType::VipSelect, pool_id, 0, 0, 0};
+}
+
 FlowFields
 FlowFields::of(const net::Packet& pkt, VportId vport)
 {

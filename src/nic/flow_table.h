@@ -55,6 +55,12 @@ enum class ActionType : uint8_t {
     ForwardQueue, ///< terminal: deliver to a specific RQ
     SendToAccel,  ///< terminal: FLD-E acceleration action
     Drop,         ///< terminal
+    // Programmable-pipeline extensions (nic/pipeline.h). The fixed
+    // interpreter executes them too, so rules installed via add_rule
+    // behave identically under both engines.
+    AclDeny,      ///< terminal: policy drop, counted separately
+    NatRewrite,   ///< rewrite IPv4 addrs/ports (flags in arg0)
+    VipSelect,    ///< pick a VIP pool backend, rewrite dst ip
 };
 
 struct Action
@@ -78,6 +84,15 @@ Action fwd_tir(uint32_t tir);
 Action fwd_queue(uint32_t rqn);
 Action send_to_accel(uint32_t rqn, uint32_t next_table);
 Action drop_action();
+Action acl_deny(uint32_t acl_id);
+/** Destination NAT: rewrite dst ip (and optionally dst port). */
+Action nat_dst(uint32_t new_dst_ip);
+Action nat_dst(uint32_t new_dst_ip, uint16_t new_dport);
+/** Source NAT: rewrite src ip (and optionally src port). */
+Action nat_src(uint32_t new_src_ip);
+Action nat_src(uint32_t new_src_ip, uint16_t new_sport);
+/** VIP load balancing: rewrite dst ip to a backend of @p pool_id. */
+Action vip_select(uint32_t pool_id);
 
 /** A rule installed in a table. */
 struct FlowRule
@@ -146,6 +161,14 @@ class FlowTables
     }
 
     size_t rule_count() const;
+
+    /** All tables with their priority-sorted rules (read-only view;
+     *  the pipeline compiler consumes this to build the default
+     *  program). */
+    const std::map<uint32_t, std::vector<FlowRule>>& all_tables() const
+    {
+        return tables_;
+    }
 
   private:
     static bool matches(const FlowMatch& m, const FlowFields& f);

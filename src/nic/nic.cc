@@ -147,6 +147,7 @@ uint64_t
 NicDevice::add_rule(uint32_t table, int priority, FlowMatch match,
                     std::vector<Action> actions)
 {
+    pipeline_dirty_ = true;
     return flows_.add_rule(table, priority, std::move(match),
                            std::move(actions));
 }
@@ -154,7 +155,47 @@ NicDevice::add_rule(uint32_t table, int priority, FlowMatch match,
 bool
 NicDevice::remove_rule(uint64_t id)
 {
+    pipeline_dirty_ = true;
     return flows_.remove_rule(id);
+}
+
+void
+NicDevice::set_pipeline_program(PipelineConfig cfg)
+{
+    for (const VipPoolConfig& p : cfg.pools)
+        vip_pools_[p.id] = p.backends;
+    pipeline_.compile(cfg);
+    explicit_program_ = true;
+    pipeline_dirty_ = false;
+}
+
+void
+NicDevice::clear_pipeline_program()
+{
+    explicit_program_ = false;
+    pipeline_dirty_ = true;
+}
+
+void
+NicDevice::set_vip_pool(uint32_t pool_id, std::vector<uint32_t> backends)
+{
+    vip_pools_[pool_id] = std::move(backends);
+}
+
+const Pipeline&
+NicDevice::pipeline()
+{
+    ensure_pipeline_compiled();
+    return pipeline_;
+}
+
+void
+NicDevice::ensure_pipeline_compiled()
+{
+    if (explicit_program_ || !pipeline_dirty_)
+        return;
+    pipeline_.compile(Pipeline::config_from(flows_));
+    pipeline_dirty_ = false;
 }
 
 void
@@ -453,19 +494,52 @@ void
 NicDevice::run_pipeline(net::Packet&& pkt, VportId in_vport,
                         uint32_t start_table)
 {
+    // Both steering engines share this action walker; they differ
+    // only in how the matching action list is found. The fixed
+    // interpreter scans the installed rules; the compiled program
+    // (NicConfig::use_compiled_pipeline) runs a flat masked scan and
+    // adds per-table default actions on a miss.
+    const bool compiled = cfg_.use_compiled_pipeline;
+    if (compiled)
+        ensure_pipeline_compiled();
+
     uint32_t table = start_table;
     FlowFields fields = FlowFields::of(pkt, in_vport);
 
-    for (int depth = 0; depth < 16; ++depth) {
-        FlowRule* rule = flows_.lookup(table, fields);
-        if (!rule) {
-            stats_.drops_no_rule++;
-            return;
+    for (int depth = 0; depth < Pipeline::kMaxDepth; ++depth) {
+        const Action* acts = nullptr;
+        size_t count = 0;
+        uint64_t rule_id = 0;
+        if (compiled) {
+            CompiledEntry* entry = pipeline_.lookup(table, fields);
+            if (entry) {
+                entry->hits++;
+                entry->hit_bytes += pkt.size();
+                acts = pipeline_.actions(*entry);
+                count = entry->action_count;
+                rule_id = entry->rule_id;
+            } else {
+                pipeline_.default_actions(table, acts, count);
+                if (count == 0) {
+                    stats_.drops_no_rule++;
+                    return;
+                }
+            }
+        } else {
+            FlowRule* rule = flows_.lookup(table, fields);
+            if (!rule) {
+                stats_.drops_no_rule++;
+                return;
+            }
+            rule->hits++;
+            rule->hit_bytes += pkt.size();
+            acts = rule->actions.data();
+            count = rule->actions.size();
+            rule_id = rule->id;
         }
-        rule->hits++;
-        rule->hit_bytes += pkt.size();
 
-        for (const Action& act : rule->actions) {
+        for (size_t ai = 0; ai < count; ++ai) {
+            const Action& act = acts[ai];
             switch (act.type) {
               case ActionType::SetTag:
                 pkt.meta.flow_tag = act.arg0;
@@ -534,21 +608,80 @@ NicDevice::run_pipeline(net::Packet&& pkt, VportId in_vport,
                 return;
               case ActionType::Drop:
                 stats_.drops_rule++;
-                emit(NicEvent::Type::RuleDrop, uint32_t(rule->id));
+                emit(NicEvent::Type::RuleDrop, uint32_t(rule_id));
                 return;
+              case ActionType::AclDeny:
+                stats_.drops_acl++;
+                emit(NicEvent::Type::AclDeny, act.arg0);
+                return;
+              case ActionType::NatRewrite:
+                nat_rewrite_packet(pkt, act);
+                fields = FlowFields::of(pkt, in_vport);
+                break;
+              case ActionType::VipSelect: {
+                auto pit = vip_pools_.find(act.arg0);
+                if (pit == vip_pools_.end() || pit->second.empty()) {
+                    stats_.drops_rule++;
+                    emit(NicEvent::Type::RuleDrop, uint32_t(rule_id));
+                    return;
+                }
+                Action nat = nat_dst(
+                    select_vip_backend(pit->second, fields));
+                nat_rewrite_packet(pkt, nat);
+                fields = FlowFields::of(pkt, in_vport);
+                break;
+              }
             }
         }
         // If the action list ended without a terminal action and no
         // Goto changed the table, the packet is dropped.
         bool had_goto = false;
-        for (const Action& act : rule->actions)
-            had_goto |= act.type == ActionType::Goto;
+        for (size_t ai = 0; ai < count; ++ai)
+            had_goto |= acts[ai].type == ActionType::Goto;
         if (!had_goto) {
             stats_.drops_no_rule++;
             return;
         }
     }
     panic("match-action pipeline loop exceeded depth limit");
+}
+
+void
+NicDevice::nat_rewrite_packet(net::Packet& pkt, const Action& act)
+{
+    net::ParsedPacket pp = net::parse(pkt);
+    if (!pp.ipv4)
+        return;
+    uint8_t* p = pkt.bytes();
+    if (act.arg0 & kNatSrcIp)
+        store_be32(p + pp.l3_offset + 12, act.arg3);
+    if (act.arg0 & kNatDstIp)
+        store_be32(p + pp.l3_offset + 16, act.arg1);
+    if (!pp.ipv4->is_fragment() && (pp.udp || pp.tcp)) {
+        if (act.arg0 & kNatSrcPort)
+            store_be16(p + pp.l4_offset + 0, uint16_t(act.arg2 >> 16));
+        if (act.arg0 & kNatDstPort)
+            store_be16(p + pp.l4_offset + 2,
+                       uint16_t(act.arg2 & 0xffff));
+    }
+    // The pseudo-header covers the rewritten addresses, so both
+    // checksums go stale; refresh them like TX offload does.
+    fix_checksums(pkt);
+}
+
+bool
+NicDevice::rx_table_matches(uint32_t table, const FlowFields& fields)
+{
+    if (!cfg_.use_compiled_pipeline)
+        return flows_.lookup(table, fields) != nullptr;
+    ensure_pipeline_compiled();
+    if (pipeline_.lookup(table, fields))
+        return true;
+    // A table whose miss path has default actions still steers.
+    const Action* acts = nullptr;
+    size_t count = 0;
+    pipeline_.default_actions(table, acts, count);
+    return count != 0;
 }
 
 void
@@ -567,7 +700,7 @@ NicDevice::deliver_to_vport(VportId vport, net::Packet&& pkt)
     auto tit = vport_rx_table_.find(vport);
     if (tit != vport_rx_table_.end()) {
         FlowFields fields = FlowFields::of(pkt, vport);
-        if (flows_.lookup(tit->second, fields)) {
+        if (rx_table_matches(tit->second, fields)) {
             run_pipeline(std::move(pkt), vport, tit->second);
             return;
         }

@@ -29,6 +29,7 @@
 #include "nic/config.h"
 #include "nic/descriptors.h"
 #include "nic/flow_table.h"
+#include "nic/pipeline.h"
 #include "nic/wire.h"
 #include "pcie/fabric.h"
 #include "sim/event_queue.h"
@@ -94,6 +95,7 @@ struct NicEvent
         QpRetransmit, ///< RC timeout fired
         QpFatal,      ///< unrecoverable QP error
         RuleDrop,     ///< packet hit an explicit Drop rule
+        AclDeny,      ///< packet denied by an ACL action
     };
     Type type;
     uint32_t id = 0; ///< rqn / qpn / rule id
@@ -111,6 +113,7 @@ struct NicStats
     uint64_t drops_rule = 0;
     uint64_t drops_meter = 0;
     uint64_t drops_no_rule = 0;
+    uint64_t drops_acl = 0; ///< AclDeny action hits
     uint64_t rdma_retransmits = 0;
     uint64_t rdma_acks = 0;
     uint64_t rdma_dup_psn = 0;    ///< duplicate data packets re-ACKed
@@ -151,6 +154,24 @@ class NicDevice : public pcie::PcieEndpoint
 
     /** Configure a named meter used by Meter actions (policer). */
     void set_meter(uint32_t meter_id, double gbps, uint64_t burst_bytes);
+
+    /**
+     * Programmable pipeline (NicConfig::use_compiled_pipeline).
+     * Without an explicit program the compiled program is derived from
+     * the installed rules (Pipeline::config_from) and lazily recompiled
+     * after add_rule/remove_rule, so both engines serve the same
+     * ruleset. set_pipeline_program installs an explicit program with
+     * masked/ternary keys the rule API cannot express; rule changes no
+     * longer affect steering until clear_pipeline_program. Pools
+     * referenced by VipSelect actions come from the program and/or
+     * set_vip_pool.
+     */
+    void set_pipeline_program(PipelineConfig cfg);
+    void clear_pipeline_program();
+    /** Register a VIP pool for VipSelect actions (both engines). */
+    void set_vip_pool(uint32_t pool_id, std::vector<uint32_t> backends);
+    /** The compiled program currently steering (compiles if dirty). */
+    const Pipeline& pipeline();
 
     /** Change an SQ's max-rate shaping after creation. */
     void set_sq_rate(uint32_t sqn, double gbps);
@@ -295,6 +316,14 @@ class NicDevice : public pcie::PcieEndpoint
     void run_pipeline(net::Packet&& pkt, VportId in_vport,
                       uint32_t start_table);
     void offload_rx_checks(net::Packet& pkt);
+    /** Recompile the flows-derived program when rules changed. */
+    void ensure_pipeline_compiled();
+    /** Would run_pipeline find work in @p table for @p fields? Used by
+     *  vport delivery to decide rule steering vs the default TIR. */
+    bool rx_table_matches(uint32_t table, const FlowFields& fields);
+    /** Rewrite IPv4 addrs/ports per a NatRewrite-shaped action and fix
+     *  the IP header + L4 checksums; no-op on non-IPv4 packets. */
+    static void nat_rewrite_packet(net::Packet& pkt, const Action& act);
 
     // rdma
     void rdma_rx(VportId vport, net::Packet&& pkt);
@@ -318,6 +347,10 @@ class NicDevice : public pcie::PcieEndpoint
 
     NetPort uplink_;
     FlowTables flows_;
+    Pipeline pipeline_;
+    bool pipeline_dirty_ = true;   ///< flows changed since compile
+    bool explicit_program_ = false;///< set_pipeline_program active
+    std::map<uint32_t, std::vector<uint32_t>> vip_pools_;
     NicStats stats_;
     EventHandler events_;
     RxDeliveryProbe rx_probe_;

@@ -79,6 +79,13 @@ FuzzScenario::to_string() const
     os << "rpc_workers = " << rpc.workers << "\n";
     os << "rpc_think_us = " << rpc.think_us << "\n";
     os << "rpc_chunk_bytes = " << rpc.chunk_bytes << "\n";
+    os << "pipeline_enabled = " << (pipeline.enabled ? 1 : 0) << "\n";
+    os << "pipeline_program_seed = " << pipeline.program_seed << "\n";
+    os << "pipeline_tables = " << pipeline.tables << "\n";
+    os << "pipeline_entries = " << pipeline.entries << "\n";
+    os << "pipeline_use_nat = " << (pipeline.use_nat ? 1 : 0) << "\n";
+    os << "pipeline_use_vip = " << (pipeline.use_vip ? 1 : 0) << "\n";
+    os << "pipeline_use_acl = " << (pipeline.use_acl ? 1 : 0) << "\n";
     return os.str();
 }
 
@@ -128,6 +135,15 @@ FuzzScenario::summary() const
         os << " vxlan=" << vni;
     if (shaper_gbps > 0)
         os << " shape=" << shaper_gbps << "G";
+    if (pipeline.enabled) {
+        os << " pipe=" << pipeline.tables << "x" << pipeline.entries;
+        if (pipeline.use_nat)
+            os << "+nat";
+        if (pipeline.use_vip)
+            os << "+vip";
+        if (pipeline.use_acl)
+            os << "+acl";
+    }
     os << (has_faults() ? " faulty" : " fault-free");
     return os.str();
 }
@@ -345,6 +361,21 @@ ScenarioFuzzer::generate(uint64_t seed) const
         s.vxlan = false;
         s.shaper_gbps = 0.0;
     }
+
+    // ---- pipeline program --------------------------------------------
+    // Appended after every pre-existing draw (ordering note at the
+    // top), and drawn for every seed so `fld_fuzz --pipeline` can
+    // force the compiled-pipeline dimension onto any seed. Effective
+    // only on EthEcho scenarios: the decoration chain splices into the
+    // echo steering rules, which the TCP/RDMA modes do not use.
+    bool pipe_on = rng.chance(0.30);
+    s.pipeline.program_seed = rng.next() | 1;
+    s.pipeline.tables = uint32_t(rng.range(1, 4));
+    s.pipeline.entries = uint32_t(rng.range(1, 4));
+    s.pipeline.use_nat = rng.chance(0.5);
+    s.pipeline.use_vip = rng.chance(0.5);
+    s.pipeline.use_acl = rng.chance(0.5);
+    s.pipeline.enabled = pipe_on && s.workload.mode == FuzzMode::EthEcho;
 
     return s;
 }
@@ -660,6 +691,45 @@ ScenarioShrinker::shrink(const FuzzScenario& failing)
                 s.conn.fault_target_port == 0)
                 return false;
             s.conn.fault_target_port = 0;
+            return true;
+        },
+        // Pipeline-program reductions: drop the whole dimension first
+        // (the failure may not need the compiled engine at all), then
+        // peel decoration features and shorten the chain.
+        [](FuzzScenario& s) {
+            if (!s.pipeline.enabled)
+                return false;
+            s.pipeline.enabled = false;
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (!s.pipeline.enabled || !s.pipeline.use_nat)
+                return false;
+            s.pipeline.use_nat = false;
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (!s.pipeline.enabled || !s.pipeline.use_vip)
+                return false;
+            s.pipeline.use_vip = false;
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (!s.pipeline.enabled || !s.pipeline.use_acl)
+                return false;
+            s.pipeline.use_acl = false;
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (!s.pipeline.enabled || s.pipeline.tables <= 1)
+                return false;
+            s.pipeline.tables = 1;
+            return true;
+        },
+        [](FuzzScenario& s) {
+            if (!s.pipeline.enabled || s.pipeline.entries <= 1)
+                return false;
+            s.pipeline.entries = 1;
             return true;
         },
     };

@@ -108,6 +108,30 @@ struct RpcWorkload
 };
 
 /**
+ * Random pipeline-program shape for the programmable match-action
+ * pipeline (nic/pipeline.h). When enabled on an EthEcho scenario the
+ * runner compiles the installed steering rules into the flat program,
+ * splices a behavior-preserving decoration chain in front of them
+ * (extra tables with masked/ternary entries, counters, tags, identity
+ * NAT, single-backend VIP select, never-matching ACL denies, miss →
+ * default goto) seeded from program_seed, and serves both the FLD and
+ * the CPU run through the compiled engine — so the four differential
+ * oracles judge random programs end to end. Like conn/rpc, every
+ * generated scenario carries valid pipeline fields so `fld_fuzz
+ * --pipeline` can force the dimension onto any seed.
+ */
+struct PipelineFuzz
+{
+    bool enabled = false;
+    uint64_t program_seed = 1;
+    uint32_t tables = 2;  ///< decoration chain length (1..4)
+    uint32_t entries = 2; ///< entries per decoration table (1..4)
+    bool use_nat = false; ///< identity dst-NAT decorations
+    bool use_vip = false; ///< single-backend VIP decorations
+    bool use_acl = false; ///< ACL denies on unused ports
+};
+
+/**
  * One randomized run, fully described. Field defaults are the
  * testbed defaults, so a default-constructed scenario reproduces the
  * calibrated fault-free setup and `reset to defaults` shrink passes
@@ -120,6 +144,7 @@ struct FuzzScenario
     FuzzWorkload workload;
     ConnWorkload conn; ///< used when workload.mode == ConnServe
     RpcWorkload rpc;   ///< used when workload.mode == RpcServe
+    PipelineFuzz pipeline; ///< effective on EthEcho scenarios
 
     // -- receiver geometry ---------------------------------------------
     uint32_t echo_queues = 1;    ///< CPU echo server RSS width

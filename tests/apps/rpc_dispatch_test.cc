@@ -235,6 +235,64 @@ TEST(RpcDispatch, ServiceTimeIsSetupPlusSerialization)
     EXPECT_EQ(pure.service_time(1 << 20), sim::microseconds(2));
 }
 
+/**
+ * Overload conformance: a worker bank saturated with the slowest
+ * method (busy, pure 2us setup) plus a mixed tail must complete every
+ * accepted request with a response byte-identical to the rpc_execute
+ * shadow oracle — queueing pressure may delay answers but must never
+ * corrupt them or cross-wire request ids.
+ */
+TEST(RpcDispatch, SaturatedWorkerBankKeepsConformanceDigests)
+{
+    sim::EventQueue eq;
+    RpcServiceConfig cfg;
+    cfg.workers = 2; // tiny bank: most of the burst sits queued
+    RpcDispatcher disp(eq, cfg);
+    Rng rng(0x5a7);
+
+    struct Expect
+    {
+        uint8_t method;
+        std::vector<uint8_t> response;
+    };
+    std::map<uint64_t, Expect> expect;
+    std::map<uint64_t, rpc::Frame> got;
+
+    // 64 requests at once: a 32x overload of the bank. The front
+    // half is all busy (saturation), the tail is a random method mix
+    // racing the drained backlog.
+    for (uint64_t id = 0; id < 64; ++id) {
+        rpc::Frame f;
+        f.method = id < 32 ? kRpcBusy
+                           : uint8_t(rng.uniform(kRpcMethodCount));
+        f.request_id = id;
+        f.payload = f.method == kRpcDefrag
+                        ? build_defrag_payload(rng, 1 + uint32_t(
+                                                        rng.uniform(400)))
+                        : random_payload(rng,
+                                         size_t(rng.range(1, 300)));
+        expect[id] = {f.method,
+                      rpc_execute(f.method, id, f.payload.data(),
+                                  f.payload.size())};
+        ASSERT_TRUE(disp.dispatch(std::move(f), [&, id](rpc::Frame&& r) {
+            EXPECT_EQ(got.count(id), 0u) << "duplicate completion";
+            got[id] = std::move(r);
+        }));
+    }
+    eq.run();
+
+    ASSERT_EQ(got.size(), 64u) << "saturation swallowed completions";
+    for (const auto& [id, e] : expect) {
+        ASSERT_TRUE(got.count(id)) << "request " << id << " lost";
+        EXPECT_EQ(got[id].method, e.method) << "request " << id;
+        EXPECT_EQ(got[id].request_id, id);
+        EXPECT_EQ(got[id].payload, e.response)
+            << "request " << id << " corrupted under overload";
+    }
+    EXPECT_TRUE(disp.idle());
+    EXPECT_EQ(disp.stats().dispatched, 64u);
+}
+
 TEST(RpcDispatch, CompletionOrderIsDeterministic)
 {
     auto run = [] {

@@ -163,6 +163,35 @@ TEST(RpcCodec, RandomFragmentationRoundTrips)
     }
 }
 
+/**
+ * Regression guard: a frame split exactly at the checksum word
+ * boundaries. The header carries two trailing checksum words —
+ * payload_csum at [16, 20) and header_csum at [20, 24) — and a cut
+ * landing on (or inside) those words means the decoder validates the
+ * header only after a second feed completes it; a decoder that
+ * checked eagerly on the first fragment would misread a half-arrived
+ * checksum as corruption.
+ */
+TEST(RpcCodec, SplitAtChecksumWordBoundaryRoundTrips)
+{
+    Rng rng(0xc5c5);
+    auto p = random_payload(rng, 73);
+    std::vector<uint8_t> wire =
+        encode_frame(3, 0x0123456789abcdefull, p.data(), p.size());
+
+    // Word-aligned cuts at each checksum field edge, plus every
+    // mid-word position inside the two checksum words.
+    for (size_t cut : {16u, 17u, 18u, 19u, 20u, 21u, 22u, 23u, 24u}) {
+        bool ok = false;
+        std::vector<Frame> got = decode_split(wire, cut, &ok);
+        ASSERT_TRUE(ok) << "cut at " << cut;
+        ASSERT_EQ(got.size(), 1u) << "cut at " << cut;
+        EXPECT_EQ(got[0].method, 3);
+        EXPECT_EQ(got[0].request_id, 0x0123456789abcdefull);
+        EXPECT_EQ(got[0].payload, p) << "cut at " << cut;
+    }
+}
+
 /** A truncated tail yields the complete frames and no phantom one. */
 TEST(RpcCodec, TruncatedTailEmitsNothing)
 {

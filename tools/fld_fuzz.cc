@@ -11,7 +11,7 @@
  * Usage:
  *   fld_fuzz [--seeds=N] [--seed0=S] [--budget=120s] [--jobs=N]
  *            [--replay=SEED] [--artifacts=DIR] [--no-trace]
- *            [--churn=N] [--conn=N] [--rpc=N]
+ *            [--churn=N] [--conn=N] [--rpc=N] [--pipeline=N]
  *
  *   --churn=N       control-plane mode: N seeds of randomized
  *                   many-tenant churn scenarios (sim::ChurnGen)
@@ -28,6 +28,12 @@
  *                   draws), run FLD-served vs CPU-served through the
  *                   RPC harness; the differential oracle diffs
  *                   per-request response digests across the modes
+ *   --pipeline=N    pipeline-program mode: N seeds, each forced to
+ *                   FuzzMode::EthEcho with the compiled match-action
+ *                   pipeline enabled and a random decoration program
+ *                   (every seed carries valid pipeline draws) spliced
+ *                   into the echo steering; FLD vs CPU differential
+ *                   plus all four oracle families judge the program
  *   --seeds=N       run N consecutive seeds (default 100)
  *   --seed0=S       first seed (default 1)
  *   --budget=T      stop after T wall-clock seconds (e.g. 120s);
@@ -73,6 +79,7 @@ struct CliOptions
     uint64_t churn = 0; ///< >0: churn mode, N seeds
     uint64_t conn = 0;  ///< >0: connection-workload mode, N seeds
     uint64_t rpc = 0;   ///< >0: RPC-workload mode, N seeds
+    uint64_t pipeline = 0; ///< >0: pipeline-program mode, N seeds
 };
 
 bool
@@ -103,6 +110,8 @@ parse_args(int argc, char** argv, CliOptions& o)
             o.conn = std::strtoull(v, nullptr, 0);
         else if (const char* v = val("--rpc="))
             o.rpc = std::strtoull(v, nullptr, 0);
+        else if (const char* v = val("--pipeline="))
+            o.pipeline = std::strtoull(v, nullptr, 0);
         else if (a == "--no-trace")
             o.trace = false;
         else {
@@ -167,7 +176,11 @@ report_failure(const CliOptions& o, apps::FuzzRunner& runner,
                 "(failing_seed.txt, minimized_scenario.txt, "
                 "transcript.txt)\n",
                 o.artifacts.c_str());
-    if (failing.workload.mode == sim::FuzzMode::ConnServe)
+    if (failing.pipeline.enabled &&
+        failing.workload.mode == sim::FuzzMode::EthEcho)
+        std::printf("replay with: fld_fuzz --pipeline=1 --seed0=%llu\n",
+                    (unsigned long long)failing.seed);
+    else if (failing.workload.mode == sim::FuzzMode::ConnServe)
         std::printf("replay with: fld_fuzz --conn=1 --seed0=%llu\n",
                     (unsigned long long)failing.seed);
     else if (failing.workload.mode == sim::FuzzMode::RpcServe)
@@ -236,6 +249,38 @@ run_rpc_mode(const CliOptions& o)
     }
     std::printf("all %llu rpc seeds clean\n",
                 (unsigned long long)o.rpc);
+    return 0;
+}
+
+/**
+ * Pipeline-program sweep: the pipeline-shape draws sit at the very
+ * tail of the generator's draw order, so any seed replays identically
+ * with the dimension forced on. The mode is forced to EthEcho (the
+ * decoration chain splices into the echo steering rules) and the
+ * compiled engine serves both the FLD and CPU runs.
+ */
+int
+run_pipeline_mode(const CliOptions& o)
+{
+    sim::ScenarioFuzzer fuzzer;
+    apps::FuzzRunner runner = make_runner(o);
+    for (uint64_t i = 0; i < o.pipeline; ++i) {
+        uint64_t seed = o.seed0 + i;
+        sim::FuzzScenario s = fuzzer.generate(seed);
+        s.workload.mode = sim::FuzzMode::EthEcho;
+        s.pipeline.enabled = true;
+        apps::FuzzVerdict v = runner.run(s);
+        if (!v.ok)
+            return report_failure(o, runner, s, v);
+        if ((i + 1) % 10 == 0 || i + 1 == o.pipeline)
+            std::printf("[%llu/%llu] pipeline seed %llu ok: %s\n",
+                        (unsigned long long)(i + 1),
+                        (unsigned long long)o.pipeline,
+                        (unsigned long long)seed,
+                        s.summary().c_str());
+    }
+    std::printf("all %llu pipeline seeds clean\n",
+                (unsigned long long)o.pipeline);
     return 0;
 }
 
@@ -323,6 +368,8 @@ main(int argc, char** argv)
         return run_conn_mode(o);
     if (o.rpc > 0)
         return run_rpc_mode(o);
+    if (o.pipeline > 0)
+        return run_pipeline_mode(o);
 
     sim::ScenarioFuzzer fuzzer;
     apps::FuzzRunner runner = make_runner(o);
