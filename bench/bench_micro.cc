@@ -186,6 +186,55 @@ BM_EventQueueScheduleRun(benchmark::State& state)
 BENCHMARK(BM_EventQueueScheduleRun);
 
 static void
+BM_TimingWheel(benchmark::State& state)
+{
+    // Wheel-vs-heap A/B at a fastpath-like delay mix: a standing
+    // population of timers re-arming at wire/DMA horizons (2^14..2^21
+    // ps) with a 2% RTO-scale tail. arg 0 selects the engine.
+    sim::EventQueue eq(state.range(0) == 0
+                           ? sim::EventQueue::Engine::Wheel
+                           : sim::EventQueue::Engine::Heap);
+    constexpr int kPopulation = 512;
+    uint64_t rng = 0x2545f4914f6cdd1dull;
+    auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    uint64_t fired = 0;
+    struct Timer
+    {
+        sim::EventQueue& eq;
+        decltype(next)& rnd;
+        uint64_t& fired;
+        void arm()
+        {
+            sim::TimePs delay =
+                (rnd() % 100 < 2)
+                    ? sim::microseconds(50)
+                    : sim::TimePs(1) << (14 + rnd() % 8);
+            eq.schedule_in(delay, [this] {
+                ++fired;
+                arm();
+            });
+        }
+    };
+    std::vector<Timer> timers(kPopulation, Timer{eq, next, fired});
+    for (Timer& t : timers)
+        t.arm();
+    for (auto _ : state) {
+        uint64_t target = fired + 4096;
+        while (fired < target)
+            eq.run_until(eq.now() + sim::microseconds(2));
+        benchmark::DoNotOptimize(fired);
+    }
+    eq.clear();
+    state.SetItemsProcessed(int64_t(fired));
+}
+BENCHMARK(BM_TimingWheel)->Arg(0)->Arg(1);
+
+static void
 BM_PacketPipelineCopy(benchmark::State& state)
 {
     // A frame hopping through scheduled pipeline stages by move, the

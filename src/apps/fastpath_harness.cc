@@ -1,5 +1,6 @@
 #include "apps/fastpath_harness.h"
 
+#include <chrono>
 #include <sstream>
 
 #include "net/headers.h"
@@ -239,8 +240,14 @@ run_fastpath_scenario(const FastPathHarnessConfig& cfg)
             });
 
     tb.eq.run(); // settle descriptor prefetch before traffic
+    uint64_t traffic_events0 = tb.eq.executed_total();
+    auto traffic_wall0 = std::chrono::steady_clock::now();
     app.start();
     tb.eq.run();
+    double traffic_wall = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() -
+                              traffic_wall0)
+                              .count();
 
     if (cfg.trace)
         tracer.uninstall();
@@ -248,6 +255,8 @@ run_fastpath_scenario(const FastPathHarnessConfig& cfg)
     // ----- fold the run into the report --------------------------
     FastPathReport r;
     r.end_time = tb.eq.now();
+    r.events = tb.eq.executed_total() - traffic_events0;
+    r.run_wall_sec = traffic_wall;
     r.client_stats = client_fp.stats();
     r.server_stats = server_fp.stats();
     r.opened = r.client_stats.conns_opened;

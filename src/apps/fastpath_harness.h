@@ -138,6 +138,11 @@ struct FastPathReport
     bool client_quiesced = false;
     bool server_quiesced = false;
     sim::TimePs end_time = 0;
+    /** Engine events the traffic phase executed and the host seconds
+     *  it took — simulator-throughput telemetry (observation only;
+     *  wall time never feeds back into the simulation). */
+    uint64_t events = 0;
+    double run_wall_sec = 0;
 
     std::string summary() const;
 };

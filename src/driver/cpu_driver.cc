@@ -78,12 +78,12 @@ CpuDriver::CpuDriver(std::string name, sim::EventQueue& eq,
         }
         qu.rq_pi = cfg_.rx_buffers;
         qu.rq_pi_published = qu.rq_pi;
-        std::vector<uint8_t> db(4);
-        store_le32(db.data(), qu.rq_pi);
+        uint8_t db[4];
+        store_le32(db, qu.rq_pi);
         fabric_.write(host_port_,
                       nic_bar_base_ + nic::NicDevice::kRqDbBase +
                           uint64_t(qu.rqn) * 8,
-                      std::move(db));
+                      db, sizeof db);
     }
 }
 
@@ -187,14 +187,15 @@ CpuDriver::ring_sq_doorbell(uint32_t q, const uint8_t* inline_wqe)
         return;
     }
     qu.db_inflight = true;
-    std::vector<uint8_t> db(inline_wqe ? 4 + nic::kWqeStride : 4);
-    store_le32(db.data(), qu.sq_published);
+    uint8_t db[4 + nic::kWqeStride];
+    size_t db_len = inline_wqe ? 4 + nic::kWqeStride : 4;
+    store_le32(db, qu.sq_published);
     if (inline_wqe)
-        std::memcpy(db.data() + 4, inline_wqe, nic::kWqeStride);
+        std::memcpy(db + 4, inline_wqe, nic::kWqeStride);
     fabric_.write(host_port_,
                   nic_bar_base_ + nic::NicDevice::kSqDbBase +
                       uint64_t(qu.sqn) * 8,
-                  std::move(db), [this, q] {
+                  db, db_len, [this, q] {
                       Queue& qu2 = queues_[q];
                       qu2.db_inflight = false;
                       if (qu2.db_dirty) {
@@ -260,12 +261,12 @@ CpuDriver::handle_rx(uint32_t q, const nic::Cqe& cqe)
     uint16_t delta = uint16_t(cqe.rq_wqe_index - last);
     if (delta > 0 && delta < 0x8000) {
         qu.rq_pi += delta;
-        std::vector<uint8_t> db(4);
-        store_le32(db.data(), qu.rq_pi);
+        uint8_t db[4];
+        store_le32(db, qu.rq_pi);
         fabric_.write(host_port_,
                       nic_bar_base_ + nic::NicDevice::kRqDbBase +
                           uint64_t(qu.rqn) * 8,
-                      std::move(db));
+                      db, sizeof db);
     }
 
     // Overload shedding: bounded queueing toward the application.

@@ -15,9 +15,8 @@ HostNode::HostNode(std::string name, sim::EventQueue& eq, HostConfig cfg)
         fatal("HostNode: need at least one core");
 }
 
-void
-HostNode::run_on_core(uint32_t core, sim::TimePs cost,
-                      std::function<void()> fn)
+sim::TimePs
+HostNode::core_start(uint32_t core, sim::TimePs cost)
 {
     if (core >= cfg_.cores)
         fatal("%s: core %u out of range", name_.c_str(), core);
@@ -31,7 +30,7 @@ HostNode::run_on_core(uint32_t core, sim::TimePs cost,
     }
     busy_until_[core] = start + cost;
     busy_time_[core] += cost;
-    eq_.schedule_at(busy_until_[core], std::move(fn));
+    return busy_until_[core];
 }
 
 } // namespace fld::driver

@@ -13,8 +13,8 @@
 #define FLD_DRIVER_HOST_H
 
 #include <cstdint>
-#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -61,9 +61,15 @@ class HostNode
     /**
      * Run @p cost of work on @p core, then call @p fn. Work on one
      * core is strictly serial; OS jitter may inflate the latency.
+     * The callable goes straight into the event queue's node pool
+     * (no std::function wrapper, no heap allocation on the hot path).
      */
-    void run_on_core(uint32_t core, sim::TimePs cost,
-                     std::function<void()> fn);
+    template <typename F>
+    void run_on_core(uint32_t core, sim::TimePs cost, F&& fn)
+    {
+        eq_.schedule_at(core_start(core, cost),
+                        std::forward<F>(fn));
+    }
 
     /** When the core becomes free (>= now when busy). */
     sim::TimePs core_free_at(uint32_t core) const
@@ -87,6 +93,10 @@ class HostNode
     const std::string& name() const { return name_; }
 
   private:
+    /** Book the serial-core time (plus OS jitter) for one work item;
+     *  returns the completion timestamp the callback fires at. */
+    sim::TimePs core_start(uint32_t core, sim::TimePs cost);
+
     std::string name_;
     sim::EventQueue& eq_;
     HostConfig cfg_;

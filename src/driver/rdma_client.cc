@@ -62,12 +62,12 @@ RdmaClient::RdmaClient(std::string name, sim::EventQueue& eq,
                     enc, nic::kRxDescStride);
     }
     rq_pi_ = cfg_.rx_buffers;
-    std::vector<uint8_t> db(4);
-    store_le32(db.data(), rq_pi_);
+    uint8_t db[4];
+    store_le32(db, rq_pi_);
     fabric_.write(host_port_,
                   nic_bar_base_ + nic::NicDevice::kRqDbBase +
                       uint64_t(rqn_) * 8,
-                  std::move(db));
+                  db, sizeof db);
 
     qpn_ = nic_.create_qp({sqn_, rqn_, vport});
 }
@@ -153,14 +153,15 @@ RdmaClient::ring_doorbell(const uint8_t* inline_wqe)
         return;
     }
     db_inflight_ = true;
-    std::vector<uint8_t> db(inline_wqe ? 4 + nic::kWqeStride : 4);
-    store_le32(db.data(), sq_published_);
+    uint8_t db[4 + nic::kWqeStride];
+    size_t db_len = inline_wqe ? 4 + nic::kWqeStride : 4;
+    store_le32(db, sq_published_);
     if (inline_wqe)
-        std::memcpy(db.data() + 4, inline_wqe, nic::kWqeStride);
+        std::memcpy(db + 4, inline_wqe, nic::kWqeStride);
     fabric_.write(host_port_,
                   nic_bar_base_ + nic::NicDevice::kSqDbBase +
                       uint64_t(sqn_) * 8,
-                  std::move(db), [this] {
+                  db, db_len, [this] {
                       db_inflight_ = false;
                       if (db_dirty_) {
                           db_dirty_ = false;
@@ -210,12 +211,12 @@ RdmaClient::handle_cqe(const nic::Cqe& cqe)
     uint16_t delta = uint16_t(cqe.rq_wqe_index - last);
     if (delta > 0 && delta < 0x8000) {
         rq_pi_ += delta;
-        std::vector<uint8_t> db(4);
-        store_le32(db.data(), rq_pi_);
+        uint8_t db[4];
+        store_le32(db, rq_pi_);
         fabric_.write(host_port_,
                       nic_bar_base_ + nic::NicDevice::kRqDbBase +
                           uint64_t(rqn_) * 8,
-                      std::move(db));
+                      db, sizeof db);
     }
 
     if (cqe.flags & nic::kCqeRdmaLast) {

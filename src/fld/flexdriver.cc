@@ -250,14 +250,15 @@ FlexDriver::issue_tx_doorbell(uint32_t q)
     // WQE-by-MMIO for lone posts (latency optimization, §6): carry
     // the synthesized WQE inside the doorbell write.
     bool lone = cfg_.wqe_by_mmio && txq.outstanding.size() == 1;
-    std::vector<uint8_t> db(lone ? 4 + nic::kWqeStride : 4);
-    store_le32(db.data(), txq.pi);
+    uint8_t db[4 + nic::kWqeStride];
+    size_t db_len = lone ? 4 + nic::kWqeStride : 4;
+    store_le32(db, txq.pi);
     if (lone) {
         uint32_t slot = (txq.pi - 1) % cfg_.tx_ring_entries;
-        synthesize_wqe(q, slot, db.data() + 4);
+        synthesize_wqe(q, slot, db + 4);
     }
     uint64_t addr = nic_bar_base_ + 0 /*kSqDbBase*/ + txq.nic_sqn * 8;
-    fabric_.write(port_, addr, std::move(db), [this, q] {
+    fabric_.write(port_, addr, db, db_len, [this, q] {
         TxQueue& t = txq_[q];
         t.doorbell_inflight = false;
         if (t.doorbell_dirty) {
@@ -281,11 +282,11 @@ FlexDriver::issue_rx_doorbell(uint32_t rx_key)
     b.doorbell_inflight = true;
     stats_.doorbells++;
 
-    std::vector<uint8_t> db(4);
-    store_le32(db.data(), b.pi);
+    uint8_t db[4];
+    store_le32(db, b.pi);
     uint64_t addr = nic_bar_base_ + 0x10000 /*kRqDbBase*/ +
                     uint64_t(b.nic_rqn) * 8;
-    fabric_.write(port_, addr, std::move(db), [this, rx_key] {
+    fabric_.write(port_, addr, db, sizeof db, [this, rx_key] {
         auto it2 = rx_.find(rx_key);
         if (it2 == rx_.end())
             return;
@@ -407,6 +408,7 @@ FlexDriver::bar_write(uint64_t addr, const uint8_t* data, size_t len)
             report(FldError::Type::NicError, cqe.qpn);
             return;
         }
+        rx_burst_.clear();
         if (is_rx_cq)
             handle_rx_cqe(cqe);
         else
@@ -434,6 +436,13 @@ FlexDriver::bar_write(uint64_t addr, const uint8_t* data, size_t len)
                 handle_rx_cqe(expanded);
             else
                 handle_tx_cqe(expanded);
+        }
+        // The whole train leaves the FLD together: one wheel touch
+        // schedules every delivery this block produced.
+        if (!rx_burst_.empty()) {
+            eq_.schedule_batch(eq_.now() + read_processing_ps(),
+                               rx_burst_.data(), rx_burst_.size());
+            rx_burst_.clear();
         }
         return;
     }
@@ -597,10 +606,11 @@ FlexDriver::handle_rx_cqe(const nic::Cqe& cqe)
               cqe.flow_tag, uint32_t(pkt.size()));
 
     if (rx_handler_) {
-        eq_.schedule_in(read_processing_ps(),
-                        [this, pkt = std::move(pkt)]() mutable {
-                            rx_handler_(std::move(pkt));
-                        });
+        // Collected by bar_write into one schedule_batch: every
+        // delivery of this CQE block fires at the same tick.
+        rx_burst_.emplace_back([this, pkt = std::move(pkt)]() mutable {
+            rx_handler_(std::move(pkt));
+        });
     }
 }
 

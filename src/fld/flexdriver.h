@@ -251,6 +251,11 @@ class FlexDriver : public pcie::PcieEndpoint
     void note_flow(uint64_t key, uint32_t tenant_hint, uint32_t bytes);
 
     StreamRxHandler rx_handler_;
+    /** Deliveries of the CQE block currently being expanded: a
+     *  compressed block's mini-CQE train all leaves the FLD at the
+     *  same tick, so bar_write collects the callbacks here and issues
+     *  them as one schedule_batch (one wheel touch per train). */
+    std::vector<sim::EventQueue::Callback> rx_burst_;
     CreditHandler credit_handler_;
     ErrorHandler errors_;
     FldStats stats_;

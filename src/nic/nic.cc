@@ -957,8 +957,8 @@ NicDevice::write_cqe(uint32_t cqn, Cqe cqe)
         uint32_t slot = cq.pi % cq.cfg.entries;
         cqe.owner = uint8_t((cq.pi / cq.cfg.entries) & 1) ^ 1;
         cq.pi++;
-        std::vector<uint8_t> bytes(kCqeStride);
-        cqe.encode(bytes.data());
+        uint8_t bytes[kCqeStride];
+        cqe.encode(bytes);
         if (auto* tr = sim::Tracer::active()) {
             const char* what = cqe.opcode == CqeOpcode::TxOk  ? "TxOk"
                                : cqe.opcode == CqeOpcode::Rx ? "Rx"
@@ -968,7 +968,7 @@ NicDevice::write_cqe(uint32_t cqn, Cqe cqe)
         }
         fabric_.write(dma_port_,
                       cq.cfg.ring_addr + uint64_t(slot) * kCqeStride,
-                      std::move(bytes));
+                      bytes, kCqeStride);
         return;
     }
 
@@ -1006,10 +1006,12 @@ NicDevice::flush_cq(uint32_t cqn)
     cq.flush_generation++; // cancel the window timer
 
     size_t n = cq.pending.size();
-    std::vector<uint8_t> bytes(kCqeStride +
-                               (n - 1) * kMiniCqeStride);
+    // Compressed blocks are bounded: a title CQE plus kMaxMiniCqes
+    // minis, so the wire image fits on the stack.
+    uint8_t bytes[kCqeStride + kMaxMiniCqes * kMiniCqeStride] = {};
+    size_t bytes_len = kCqeStride + (n - 1) * kMiniCqeStride;
     Cqe title = cq.pending.front();
-    title.encode(bytes.data());
+    title.encode(bytes);
     bytes[kCqeMiniCountOffset] = uint8_t(n - 1);
     if (auto* tr = sim::Tracer::active())
         tr->emit(eq_.now(), sim::TraceEventKind::CqeWrite, name_, "Rx",
@@ -1026,14 +1028,13 @@ NicDevice::flush_cq(uint32_t cqn)
         mini.rq_wqe_index = c.rq_wqe_index;
         mini.flags = c.flags;
         mini.flow_tag = c.flow_tag;
-        mini.encode(bytes.data() + kCqeStride +
-                    (i - 1) * kMiniCqeStride);
+        mini.encode(bytes + kCqeStride + (i - 1) * kMiniCqeStride);
     }
     cq.pending.clear();
     fabric_.write(dma_port_,
                   cq.cfg.ring_addr +
                       uint64_t(cq.block_start_slot) * kCqeStride,
-                  std::move(bytes));
+                  bytes, bytes_len);
 }
 
 // ---------------------------------------------------------------------

@@ -55,11 +55,36 @@ void
 PcieFabric::write(PortId from, uint64_t addr, std::vector<uint8_t> data,
                   OnWriteDone done)
 {
+    uint32_t idx = acquire_write_op();
+    WriteOp& op = write_ops_[idx];
+    op.data = std::move(data);
+    op.done = std::move(done);
+    post_write(from, addr, idx);
+}
+
+void
+PcieFabric::write(PortId from, uint64_t addr, const void* data,
+                  size_t len, OnWriteDone done)
+{
+    uint32_t idx = acquire_write_op();
+    WriteOp& op = write_ops_[idx];
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    op.data.assign(p, p + len);
+    op.done = std::move(done);
+    post_write(from, addr, idx);
+}
+
+void
+PcieFabric::post_write(PortId from, uint64_t addr, uint32_t idx)
+{
     const Mapping& m = resolve(addr);
     Port& src = *ports_[from];
     Port& dst = *ports_[m.port];
+    WriteOp& op = write_ops_[idx];
+    op.ep = m.ep;
+    op.bar_off = addr - m.base;
 
-    uint64_t wire = tlp_.write_wire_bytes(data.size());
+    uint64_t wire = tlp_.write_wire_bytes(op.data.size());
     src.stats.egress_bytes += wire;
     src.stats.writes++;
     dst.stats.ingress_bytes += wire;
@@ -86,25 +111,30 @@ PcieFabric::write(PortId from, uint64_t addr, std::vector<uint8_t> data,
     // is harmless).
     if (faults_) {
         sim::TimePs jitter =
-            faults_->next_doorbell_jitter(tlp_.faults, data.size());
+            faults_->next_doorbell_jitter(tlp_.faults, op.data.size());
         if (jitter > 0) {
             if (auto* tr = sim::Tracer::active())
                 tr->emit(eq_.now(), sim::TraceEventKind::FaultInject,
                          src.name, "db_jitter", 0, uint32_t(from), 0, 1,
-                         data.size());
+                         op.data.size());
         }
         delivered += jitter;
     }
 
-    uint64_t bar_off = addr - m.base;
-    PcieEndpoint* ep = m.ep;
-    eq_.schedule_at(delivered,
-                    [ep, bar_off, data = std::move(data),
-                     done = std::move(done)]() mutable {
-                        ep->bar_write(bar_off, data.data(), data.size());
-                        if (done)
-                            done();
-                    });
+    eq_.schedule_at(delivered, [this, idx] { deliver_write(idx); });
+}
+
+void
+PcieFabric::deliver_write(uint32_t idx)
+{
+    WriteOp& op = write_ops_[idx];
+    op.ep->bar_write(op.bar_off, op.data.data(), op.data.size());
+    OnWriteDone done = std::move(op.done);
+    // Release before invoking: the handler may start new transactions,
+    // and the freed op lets them reuse this slot.
+    release_write_op(idx);
+    if (done)
+        done();
 }
 
 void
@@ -134,64 +164,121 @@ PcieFabric::read(PortId from, uint64_t addr, size_t len, OnReadData done)
                            dst.gbps, req_wire) + dst.latency;
     }
 
-    uint64_t bar_off = addr - m.base;
-    PcieEndpoint* ep = m.ep;
-    Port* srcp = &src;
-    Port* dstp = &dst;
-    eq_.schedule_at(at_dst, [this, ep, bar_off, len, srcp, dstp,
-                             done = std::move(done)]() mutable {
-        // Functional read happens once the request arrives, after the
-        // endpoint's internal processing delay.
-        sim::TimePs ready = eq_.now() + ep->read_processing_ps();
-        eq_.schedule_at(ready, [this, ep, bar_off, len, srcp, dstp,
-                                done = std::move(done)]() mutable {
-            std::vector<uint8_t> data(len);
-            ep->bar_read(bar_off, data.data(), len);
+    uint32_t idx = acquire_read_op();
+    ReadOp& op = read_ops_[idx];
+    op.ep = m.ep;
+    op.bar_off = addr - m.base;
+    op.len = len;
+    op.src = &src;
+    op.dst = &dst;
+    op.done = std::move(done);
+    eq_.schedule_at(at_dst,
+                    [this, idx] { read_request_arrived(idx); });
+}
 
-            uint64_t cpl_wire = tlp_.read_cpl_wire_bytes(len);
-            // Completion: dst egress -> src ingress.
-            sim::TimePs sent_cpl =
-                serialize(eq_.now(), dstp->egress_busy_until, dstp->gbps,
-                          cpl_wire);
-            sim::TimePs delivered;
-            if (srcp == dstp) {
-                delivered = sent_cpl + dstp->latency;
-            } else {
-                delivered = serialize(sent_cpl + dstp->latency,
-                                      srcp->ingress_busy_until,
-                                      srcp->gbps, cpl_wire) +
-                            srcp->latency;
-            }
-            // Fault injection: the completion may be delayed (switch
-            // congestion) or stalled outright (retried TLP). The data
-            // is unchanged — PCIe completions are reliable — only
-            // late. Completions to one requester stay FIFO (a stalled
-            // TLP head-of-line blocks the ones behind it), preserving
-            // the in-order delivery the NIC's pipelined descriptor
-            // DMA depends on.
-            if (faults_ && (tlp_.faults.read_delay_prob > 0 ||
-                            tlp_.faults.read_stall_prob > 0)) {
-                sim::TimePs delay =
-                    faults_->next_read_completion_delay(tlp_.faults);
-                if (delay > 0) {
-                    if (auto* tr = sim::Tracer::active())
-                        tr->emit(eq_.now(),
-                                 sim::TraceEventKind::FaultInject,
-                                 dstp->name, "cpl_delay", 0, 0, 0, 1,
-                                 len);
-                }
-                delivered += delay;
-                delivered =
-                    std::max(delivered, srcp->cpl_order_floor);
-                srcp->cpl_order_floor = delivered;
-            }
-            eq_.schedule_at(delivered,
-                            [data = std::move(data),
-                             done = std::move(done)]() mutable {
-                                done(std::move(data));
-                            });
-        });
+void
+PcieFabric::read_request_arrived(uint32_t idx)
+{
+    // Functional read happens once the request arrives, after the
+    // endpoint's internal processing delay.
+    ReadOp& op = read_ops_[idx];
+    sim::TimePs ready = eq_.now() + op.ep->read_processing_ps();
+    eq_.schedule_at(ready, [this, idx] { read_data_ready(idx); });
+}
+
+void
+PcieFabric::read_data_ready(uint32_t idx)
+{
+    ReadOp& op = read_ops_[idx];
+    op.data.assign(op.len, 0);
+    op.ep->bar_read(op.bar_off, op.data.data(), op.len);
+
+    Port* srcp = op.src;
+    Port* dstp = op.dst;
+    uint64_t cpl_wire = tlp_.read_cpl_wire_bytes(op.len);
+    // Completion: dst egress -> src ingress.
+    sim::TimePs sent_cpl = serialize(eq_.now(), dstp->egress_busy_until,
+                                     dstp->gbps, cpl_wire);
+    sim::TimePs delivered;
+    if (srcp == dstp) {
+        delivered = sent_cpl + dstp->latency;
+    } else {
+        delivered = serialize(sent_cpl + dstp->latency,
+                              srcp->ingress_busy_until, srcp->gbps,
+                              cpl_wire) +
+                    srcp->latency;
+    }
+    // Fault injection: the completion may be delayed (switch
+    // congestion) or stalled outright (retried TLP). The data
+    // is unchanged — PCIe completions are reliable — only
+    // late. Completions to one requester stay FIFO (a stalled
+    // TLP head-of-line blocks the ones behind it), preserving
+    // the in-order delivery the NIC's pipelined descriptor
+    // DMA depends on.
+    if (faults_ && (tlp_.faults.read_delay_prob > 0 ||
+                    tlp_.faults.read_stall_prob > 0)) {
+        sim::TimePs delay =
+            faults_->next_read_completion_delay(tlp_.faults);
+        if (delay > 0) {
+            if (auto* tr = sim::Tracer::active())
+                tr->emit(eq_.now(), sim::TraceEventKind::FaultInject,
+                         dstp->name, "cpl_delay", 0, 0, 0, 1, op.len);
+        }
+        delivered += delay;
+        delivered = std::max(delivered, srcp->cpl_order_floor);
+        srcp->cpl_order_floor = delivered;
+    }
+    eq_.schedule_at(delivered, [this, idx] {
+        ReadOp& fin = read_ops_[idx];
+        OnReadData done = std::move(fin.done);
+        std::vector<uint8_t> data = std::move(fin.data);
+        // Release before invoking (the handler may start new reads).
+        release_read_op(idx);
+        done(std::move(data));
     });
+}
+
+uint32_t
+PcieFabric::acquire_read_op()
+{
+    if (read_free_ == kFreeListEnd) {
+        read_ops_.emplace_back();
+        return uint32_t(read_ops_.size() - 1);
+    }
+    uint32_t idx = read_free_;
+    read_free_ = read_ops_[idx].next_free;
+    return idx;
+}
+
+void
+PcieFabric::release_read_op(uint32_t idx)
+{
+    ReadOp& op = read_ops_[idx];
+    op.ep = nullptr;
+    op.next_free = read_free_;
+    read_free_ = idx;
+}
+
+uint32_t
+PcieFabric::acquire_write_op()
+{
+    if (write_free_ == kFreeListEnd) {
+        write_ops_.emplace_back();
+        return uint32_t(write_ops_.size() - 1);
+    }
+    uint32_t idx = write_free_;
+    write_free_ = write_ops_[idx].next_free;
+    return idx;
+}
+
+void
+PcieFabric::release_write_op(uint32_t idx)
+{
+    WriteOp& op = write_ops_[idx];
+    op.ep = nullptr;
+    op.data.clear();
+    op.next_free = write_free_;
+    write_free_ = idx;
 }
 
 } // namespace fld::pcie

@@ -14,7 +14,7 @@
 #define FLD_PCIE_FABRIC_H
 
 #include <cstdint>
-#include <functional>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +23,7 @@
 #include "pcie/tlp.h"
 #include "sim/event_queue.h"
 #include "sim/fault.h"
+#include "sim/inline_callback.h"
 
 namespace fld::pcie {
 
@@ -41,8 +42,11 @@ struct PortStats
 class PcieFabric
 {
   public:
-    using OnWriteDone = std::function<void()>;
-    using OnReadData = std::function<void(std::vector<uint8_t>)>;
+    /** Move-only completion handlers (sim::MoveFunction): DMA chunk
+     *  fans fire thousands of these per descriptor ring spin, and the
+     *  std::function they replaced heap-allocated per operation. */
+    using OnWriteDone = sim::MoveFunction<void()>;
+    using OnReadData = sim::MoveFunction<void(std::vector<uint8_t>)>;
 
     PcieFabric(sim::EventQueue& eq, TlpParams tlp = {})
         : eq_(eq), tlp_(tlp)
@@ -68,6 +72,17 @@ class PcieFabric
      * wait, but callers may want delivery ordering hooks).
      */
     void write(PortId from, uint64_t addr, std::vector<uint8_t> data,
+               OnWriteDone done = {});
+
+    /**
+     * Posted write that copies @p len bytes out of @p data instead of
+     * taking a vector. Preferred for fixed-size records built on the
+     * stack (CQEs, doorbells): the bytes land in a pooled, capacity-
+     * recycled buffer, so steady state does no allocation. The vector
+     * overload remains the zero-copy path for payloads that already
+     * own their storage.
+     */
+    void write(PortId from, uint64_t addr, const void* data, size_t len,
                OnWriteDone done = {});
 
     /** Split-completion read of @p len bytes at @p addr. */
@@ -108,6 +123,41 @@ class PcieFabric
         PortId port;
         PcieEndpoint* ep;
     };
+    /**
+     * In-flight transaction state, pooled. The scheduled hops capture
+     * only {fabric, op index} (16 bytes — always inline in the event
+     * node); carrying the completion callback itself through the
+     * capture chain overflowed the inline store and heap-allocated
+     * three times per read.
+     */
+    struct ReadOp
+    {
+        PcieEndpoint* ep = nullptr;
+        uint64_t bar_off = 0;
+        size_t len = 0;
+        Port* src = nullptr;
+        Port* dst = nullptr;
+        OnReadData done;
+        std::vector<uint8_t> data;
+        uint32_t next_free = 0;
+    };
+    struct WriteOp
+    {
+        PcieEndpoint* ep = nullptr;
+        uint64_t bar_off = 0;
+        std::vector<uint8_t> data;
+        OnWriteDone done;
+        uint32_t next_free = 0;
+    };
+
+    uint32_t acquire_read_op();
+    void release_read_op(uint32_t idx);
+    uint32_t acquire_write_op();
+    void release_write_op(uint32_t idx);
+    void post_write(PortId from, uint64_t addr, uint32_t idx);
+    void read_request_arrived(uint32_t idx);
+    void read_data_ready(uint32_t idx);
+    void deliver_write(uint32_t idx);
 
     /**
      * Serialize @p wire_bytes on a direction serializer; returns the
@@ -123,6 +173,13 @@ class PcieFabric
     sim::FaultPlan* faults_ = nullptr;
     std::vector<std::unique_ptr<Port>> ports_;
     std::vector<Mapping> map_;
+    /// Op pools: deque for stable addresses, freelist threaded through
+    /// next_free (kFreeListEnd terminates).
+    static constexpr uint32_t kFreeListEnd = ~0u;
+    std::deque<ReadOp> read_ops_;
+    uint32_t read_free_ = kFreeListEnd;
+    std::deque<WriteOp> write_ops_;
+    uint32_t write_free_ = kFreeListEnd;
 };
 
 } // namespace fld::pcie

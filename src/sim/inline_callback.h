@@ -1,14 +1,19 @@
 /**
  * @file
- * Move-only callable wrapper with small-buffer optimization — the
- * event queue's callback type.
+ * Move-only callable wrappers with small-buffer optimization.
  *
- * Unlike std::function it never copies the stored callable, so events
- * carrying packet payloads move through the scheduler without
- * duplicating their bytes; and callables whose captures fit the
- * inline budget are stored in place, so scheduling an ordinary
- * datapath hop performs no heap allocation at all. Oversized
- * callables fall back to a single heap cell.
+ * MoveFunction<R(Args...)> is the tree's replacement for std::function
+ * on hot paths: unlike std::function it never copies the stored
+ * callable, so events and completion handlers carrying packet payloads
+ * move through the scheduler and the PCIe fabric without duplicating
+ * their bytes; and callables whose captures fit the inline budget are
+ * stored in place, so an ordinary datapath hop performs no heap
+ * allocation at all. Oversized callables fall back to a single heap
+ * cell.
+ *
+ * InlineCallback (= MoveFunction<void()>) is the event queue's
+ * callback type; the PCIe fabric and host-core run queues use the
+ * parameterized signatures for their DMA completion handlers.
  */
 #ifndef FLD_SIM_INLINE_CALLBACK_H
 #define FLD_SIM_INLINE_CALLBACK_H
@@ -20,7 +25,11 @@
 
 namespace fld::sim {
 
-class InlineCallback
+template <typename Sig>
+class MoveFunction;
+
+template <typename R, typename... Args>
+class MoveFunction<R(Args...)>
 {
   public:
     /**
@@ -31,13 +40,13 @@ class InlineCallback
      */
     static constexpr size_t kInlineBytes = 112;
 
-    InlineCallback() = default;
+    MoveFunction() = default;
 
     template <typename F,
               typename = std::enable_if_t<
-                  !std::is_same_v<std::decay_t<F>, InlineCallback> &&
-                  std::is_invocable_r_v<void, std::decay_t<F>&>>>
-    InlineCallback(F&& fn) // NOLINT: implicit, like std::function
+                  !std::is_same_v<std::decay_t<F>, MoveFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+    MoveFunction(F&& fn) // NOLINT: implicit, like std::function
     {
         using Fn = std::decay_t<F>;
         if constexpr (sizeof(Fn) <= kInlineBytes &&
@@ -51,12 +60,9 @@ class InlineCallback
         }
     }
 
-    InlineCallback(InlineCallback&& other) noexcept
-    {
-        move_from(other);
-    }
+    MoveFunction(MoveFunction&& other) noexcept { move_from(other); }
 
-    InlineCallback& operator=(InlineCallback&& other) noexcept
+    MoveFunction& operator=(MoveFunction&& other) noexcept
     {
         if (this != &other) {
             reset();
@@ -65,14 +71,33 @@ class InlineCallback
         return *this;
     }
 
-    InlineCallback(const InlineCallback&) = delete;
-    InlineCallback& operator=(const InlineCallback&) = delete;
+    MoveFunction(const MoveFunction&) = delete;
+    MoveFunction& operator=(const MoveFunction&) = delete;
 
-    ~InlineCallback() { reset(); }
+    ~MoveFunction() { reset(); }
 
     explicit operator bool() const { return ops_ != nullptr; }
 
-    void operator()() { ops_->invoke(storage_); }
+    R operator()(Args... args)
+    {
+        return ops_->invoke(storage_, std::forward<Args>(args)...);
+    }
+
+    /**
+     * Invoke, then destroy the stored callable, leaving *this empty —
+     * one indirect call instead of two. The event queue's drain loop
+     * executes nodes in place with this, so a popped event never pays
+     * a separate destructor dispatch (and a re-entrant reset() of the
+     * same node during the call stays harmless: ops_ is cleared before
+     * the callable runs).
+     */
+    R invoke_and_dispose(Args... args)
+    {
+        const Ops* ops = ops_;
+        ops_ = nullptr;
+        return ops->invoke_destroy(storage_,
+                                   std::forward<Args>(args)...);
+    }
 
     /** Destroy the stored callable (no-op when empty). */
     void reset()
@@ -86,32 +111,60 @@ class InlineCallback
   private:
     struct Ops
     {
-        void (*invoke)(void*);
+        R (*invoke)(void*, Args&&...);
         void (*destroy)(void*);
         /** Move-construct into @p dst, then destroy @p src. */
         void (*relocate)(void* dst, void* src);
+        /** invoke() then destroy() fused (storage left destroyed). */
+        R (*invoke_destroy)(void*, Args&&...);
     };
 
     template <typename Fn>
     static constexpr Ops kInlineOps = {
-        [](void* p) { (*static_cast<Fn*>(p))(); },
+        [](void* p, Args&&... args) -> R {
+            return (*static_cast<Fn*>(p))(std::forward<Args>(args)...);
+        },
         [](void* p) { static_cast<Fn*>(p)->~Fn(); },
         [](void* dst, void* src) {
             new (dst) Fn(std::move(*static_cast<Fn*>(src)));
             static_cast<Fn*>(src)->~Fn();
         },
+        [](void* p, Args&&... args) -> R {
+            // In place: the caller guarantees the storage outlives the
+            // call (the event queue recycles a node only after this
+            // returns), so the callable never pays a relocation.
+            Fn* fn = static_cast<Fn*>(p);
+            struct Destroy
+            {
+                Fn* fn;
+                ~Destroy() { fn->~Fn(); }
+            } destroy_guard{fn};
+            return (*fn)(std::forward<Args>(args)...);
+        },
     };
 
     template <typename Fn>
     static constexpr Ops kHeapOps = {
-        [](void* p) { (**static_cast<Fn**>(p))(); },
+        [](void* p, Args&&... args) -> R {
+            return (**static_cast<Fn**>(p))(
+                std::forward<Args>(args)...);
+        },
         [](void* p) { delete *static_cast<Fn**>(p); },
         [](void* dst, void* src) {
             new (dst) Fn*(*static_cast<Fn**>(src));
         },
+        [](void* p, Args&&... args) -> R {
+            Fn* fn = *static_cast<Fn**>(p);
+            struct Free
+            {
+                Fn* fn;
+                ~Free() { delete fn; }
+            } free_guard{fn};
+            return (*fn)(std::forward<Args>(args)...);
+        },
     };
 
-    void move_from(InlineCallback& other) noexcept
+    void move_from(MoveFunction& other) noexcept
     {
         ops_ = other.ops_;
         if (ops_)
@@ -122,6 +175,9 @@ class InlineCallback
     alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
     const Ops* ops_ = nullptr;
 };
+
+/** The event queue's callback type. */
+using InlineCallback = MoveFunction<void()>;
 
 } // namespace fld::sim
 

@@ -18,12 +18,21 @@ SimPerfReport::to_json() const
             "    {\"name\": \"%s\", \"wall_sec\": %.6f, "
             "\"events\": %llu, \"packets\": %llu, "
             "\"sim_sec\": %.9f, \"events_per_sec\": %.0f, "
-            "\"packets_per_sec\": %.0f, \"sim_time_ratio\": %.6f}",
+            "\"packets_per_sec\": %.0f, \"sim_time_ratio\": %.6f, "
+            "\"bucket_drains\": %llu, \"avg_bucket\": %.3f, "
+            "\"max_bucket\": %llu, \"cascades\": %llu, "
+            "\"cascaded_events\": %llu, \"overflow_filed\": %llu}",
             s.name.c_str(), s.wall_sec,
             (unsigned long long)s.events,
             (unsigned long long)s.packets, to_sec(s.sim_time),
             s.events_per_sec(), s.packets_per_sec(),
-            s.sim_time_ratio());
+            s.sim_time_ratio(),
+            (unsigned long long)s.wheel.bucket_drains,
+            s.wheel.avg_bucket_occupancy(),
+            (unsigned long long)s.wheel.max_bucket,
+            (unsigned long long)s.wheel.cascades,
+            (unsigned long long)s.wheel.cascaded_events,
+            (unsigned long long)s.wheel.overflow_filed);
     }
     out += "\n  ]\n}\n";
     return out;

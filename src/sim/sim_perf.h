@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/event_queue.h"
 #include "sim/time.h"
 
 namespace fld::sim {
@@ -31,6 +32,29 @@ struct SimPerfSample
     uint64_t events = 0;   ///< engine events executed during the run
     uint64_t packets = 0;  ///< packets delivered during the run
     TimePs sim_time = 0;   ///< simulated time the run advanced
+    /** Wheel-engine telemetry for the run: bucket occupancy and
+     *  cascade counts (all zero under Engine::Heap). Capture with
+     *  take_wheel_stats(). */
+    EventQueue::WheelStats wheel;
+
+    /** Diff @p eq's lifetime wheel stats against @p start_of_run. */
+    void take_wheel_stats(const EventQueue& eq,
+                          const EventQueue::WheelStats& start_of_run)
+    {
+        const EventQueue::WheelStats& end = eq.wheel_stats();
+        wheel.bucket_drains =
+            end.bucket_drains - start_of_run.bucket_drains;
+        wheel.drained_events =
+            end.drained_events - start_of_run.drained_events;
+        wheel.max_bucket = end.max_bucket;
+        wheel.cascades = end.cascades - start_of_run.cascades;
+        wheel.cascaded_events =
+            end.cascaded_events - start_of_run.cascaded_events;
+        wheel.overflow_filed =
+            end.overflow_filed - start_of_run.overflow_filed;
+        wheel.overflow_refiled =
+            end.overflow_refiled - start_of_run.overflow_refiled;
+    }
 
     double events_per_sec() const
     {

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Heap-vs-wheel engine differential: the timing wheel replaced the
+ * binary heap inside sim::EventQueue, and the two engines promise the
+ * identical total order {when, seq}. This test replays a 50-seed
+ * fld_fuzz sweep spanning all four scenario families (EthEcho incl.
+ * compiled-pipeline decoration, ConnServe, RpcServe) under each
+ * engine and requires byte-identical transcripts — which fold in
+ * every delivered payload digest, trace hash, counter and oracle
+ * verdict — plus equal verdicts. Any divergence means the wheel
+ * reordered events the heap would not have, i.e. a broken engine.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/fuzz_runner.h"
+#include "bench/bench_util.h"
+#include "sim/fuzz.h"
+
+namespace fld::apps {
+namespace {
+
+/** The exact runner configuration tools/fld_fuzz.cc uses. */
+FuzzRunner
+make_runner()
+{
+    FuzzRunOptions ropt;
+    ropt.base_gen = bench::closed_loop_gen(/*frame=*/64, /*window=*/8);
+    ropt.base_tb = TestbedConfig{};
+    ropt.check_trace = true;
+    return FuzzRunner(ropt);
+}
+
+/** Seed -> scenario, sized down to regression-test budgets and with
+ *  the mode rotated so the sweep covers every family. */
+sim::FuzzScenario
+scenario_for(uint64_t seed)
+{
+    sim::ScenarioFuzzer fuzzer;
+    sim::FuzzScenario s = fuzzer.generate(seed);
+    switch (seed % 4) {
+    case 0:
+        s.workload.mode = sim::FuzzMode::EthEcho;
+        s.pipeline.enabled = false;
+        break;
+    case 1:
+        s.workload.mode = sim::FuzzMode::EthEcho;
+        s.pipeline.enabled = true; // compiled-pipeline dimension
+        break;
+    case 2:
+        s.workload.mode = sim::FuzzMode::ConnServe;
+        break;
+    default:
+        s.workload.mode = sim::FuzzMode::RpcServe;
+        break;
+    }
+    s.workload.packets = std::min(s.workload.packets, 16u);
+    s.conn.connections = std::min(s.conn.connections, 8u);
+    s.conn.requests = std::min(s.conn.requests, 2u);
+    s.rpc.connections = std::min(s.rpc.connections, 4u);
+    s.rpc.requests = std::min(s.rpc.requests, 2u);
+    return s;
+}
+
+FuzzVerdict
+run_with_engine(const sim::FuzzScenario& s, sim::EventQueue::Engine e)
+{
+    sim::EventQueue::Engine prev = sim::EventQueue::set_default_engine(e);
+    FuzzVerdict v = make_runner().run(s);
+    sim::EventQueue::set_default_engine(prev);
+    return v;
+}
+
+TEST(WheelHeapDiff, FiftySeedSweepIsByteIdenticalAcrossEngines)
+{
+    for (uint64_t seed = 1; seed <= 50; ++seed) {
+        sim::FuzzScenario s = scenario_for(seed);
+        FuzzVerdict wheel =
+            run_with_engine(s, sim::EventQueue::Engine::Wheel);
+        FuzzVerdict heap =
+            run_with_engine(s, sim::EventQueue::Engine::Heap);
+        EXPECT_EQ(wheel.ok, heap.ok) << "seed " << seed;
+        EXPECT_EQ(wheel.transcript_hash, heap.transcript_hash)
+            << "seed " << seed;
+        ASSERT_EQ(wheel.transcript, heap.transcript)
+            << "seed " << seed << ": engines diverged";
+    }
+}
+
+TEST(WheelHeapDiff, EnvSelectedEngineMatchesExplicit)
+{
+    // FLD_SIM_ENGINE is the A/B switch benches use; a queue built
+    // under the overridden default must behave like an explicit one.
+    sim::FuzzScenario s = scenario_for(3);
+    FuzzVerdict a = run_with_engine(s, sim::EventQueue::Engine::Wheel);
+    FuzzVerdict b = run_with_engine(s, sim::EventQueue::Engine::Wheel);
+    EXPECT_EQ(a.transcript, b.transcript)
+        << "wheel engine is not replay-deterministic";
+}
+
+} // namespace
+} // namespace fld::apps
